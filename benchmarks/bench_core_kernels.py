@@ -1,0 +1,45 @@
+"""Micro-benchmarks of SafeBound's two hot kernels.
+
+Not a paper figure, but the numbers the paper's complexity claims rest
+on: ValidCompress is linear in the number of runs, and FDSB inference is
+log-linear in the total compressed segment count (Theorem 3.4 of Sec 3.5),
+i.e. both are micro- to millisecond-scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DegreeSequence, SafeBound, valid_compress
+from repro.core.predicates import And, Eq, Range
+from repro.db.query import Query
+
+
+@pytest.fixture(scope="module")
+def zipf_ds():
+    rng = np.random.default_rng(0)
+    return DegreeSequence.from_column((rng.zipf(1.3, 500_000) % 50_000))
+
+
+def test_bench_valid_compress(benchmark, zipf_ds):
+    cds = benchmark(valid_compress, zipf_ds, 0.01)
+    assert cds.total == zipf_ds.cardinality
+
+
+@pytest.fixture(scope="module")
+def built_safebound(bench_imdb):
+    sb = SafeBound()
+    sb.build(bench_imdb)
+    return sb
+
+
+def test_bench_fdsb_inference(benchmark, built_safebound, bench_imdb):
+    q = Query(name="kernel")
+    q.add_relation("t", "title").add_relation("ci", "cast_info")
+    q.add_relation("mk", "movie_keyword").add_relation("mc", "movie_companies")
+    q.add_join("ci", "movie_id", "t", "id")
+    q.add_join("mk", "movie_id", "t", "id")
+    q.add_join("mc", "movie_id", "t", "id")
+    q.add_predicate("t", And([Range("production_year", low=1990, high=2005), Eq("kind_id", 0)]))
+    q.add_predicate("ci", Eq("role_id", 1))
+    bound = benchmark(built_safebound.bound, q)
+    assert bound >= 0

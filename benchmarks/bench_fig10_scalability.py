@@ -1,0 +1,33 @@
+"""Fig 10: SafeBound build time vs TPC-H scale factor.
+
+Paper shape: construction time grows linearly with the data; the trigram
+statistics add a constant-factor overhead on string-heavy schemas.
+"""
+
+import numpy as np
+
+from repro.harness import fig10_scalability, format_table
+
+
+def test_fig10_scalability(benchmark, show):
+    sfs = (0.004, 0.008, 0.016, 0.032)
+    rows = benchmark.pedantic(fig10_scalability, args=(sfs,), rounds=1, iterations=1)
+    show(format_table(
+        ["scale factor", "rows", "variant", "build seconds", "stats KiB"],
+        rows,
+        title="Fig 10 — SafeBound construction time vs TPC-H scale factor",
+    ))
+    with_tri = [(r[1], r[3]) for r in rows if r[2] == "with trigrams"]
+    no_tri = [(r[1], r[3]) for r in rows if r[2] == "no trigrams"]
+    # At-most-linear growth: at laptop scale a fixed per-table overhead
+    # (tiny dimension tables, clustering setup) still dominates, so time
+    # per row *decreases* with scale; assert the marginal step between the
+    # two largest runs is at most ~linear in the added rows, and that time
+    # grows monotonically.
+    times = [t for _, t in with_tri]
+    assert all(t2 >= t1 * 0.9 for t1, t2 in zip(times, times[1:]))
+    (n1, t1), (n2, t2) = with_tri[-2], with_tri[-1]
+    assert t2 / t1 <= 1.6 * (n2 / n1)
+    # Trigrams cost extra on every scale.
+    for (n1, t1), (n2, t2) in zip(with_tri, no_tri):
+        assert t1 >= t2 * 0.8

@@ -1,0 +1,24 @@
+"""Fig 5c: relative estimation error (Estimate / True).
+
+Paper shape: Postgres underestimates by orders of magnitude; SafeBound's
+errors always lie at or above 1 (never underestimates); Simplicity
+overestimates the most; PessEst bounds but loosely.
+"""
+
+from repro.harness import fig5c_relative_error, format_table
+
+
+def test_fig5c_relative_error(benchmark, suite, show):
+    rows = benchmark(fig5c_relative_error, suite)
+    show(format_table(
+        ["workload", "method", "p05", "median", "p95", "under-fraction"],
+        rows,
+        title="Fig 5c — relative error (Estimate/True); under-fraction = share of strict underestimates",
+    ))
+    for row in rows:
+        workload, method, p05, p50, p95, under = row
+        if method in ("SafeBound", "PessEst"):
+            assert under == 0.0, f"{method} must never underestimate ({workload})"
+            assert p05 >= 1.0 - 1e-9
+        if method == "Postgres":
+            assert under > 0.0, "Postgres should underestimate somewhere"

@@ -1,0 +1,25 @@
+"""Fig 6: runtime of the longest-running queries, Postgres vs SafeBound.
+
+Paper shape: SafeBound speeds up the expensive tail (paper quantiles
+1.01x/1.3x/1.7x/10.1x/30.3x at p05/p25/p50/p75/p95).
+"""
+
+from repro.harness import fig6_longest_queries, format_table
+
+
+def test_fig6_longest_queries(benchmark, suite, show):
+    result = benchmark(fig6_longest_queries, suite, 80)
+    rows = [
+        [w, q, pg, sb, pg / max(sb, 1e-9)]
+        for w, q, pg, sb in result["queries"][:20]
+    ]
+    show(format_table(
+        ["workload", "query", "Postgres runtime", "SafeBound runtime", "speedup"],
+        rows,
+        title="Fig 6 — the 20 longest-running queries (of the top 80 collected)",
+    ))
+    qs = result["speedup_quantiles"]
+    show("Fig 6 speedup quantiles (p05/p25/p50/p75/p95): "
+         + "/".join(f"{qs[q]:.2f}x" for q in (0.05, 0.25, 0.5, 0.75, 0.95)))
+    # The expensive tail should benefit: p75 speedup above 1.
+    assert qs[0.75] >= 1.0

@@ -1,0 +1,24 @@
+"""Fig 8a: statistics memory footprint.
+
+Paper shape: SafeBound within a small factor of Postgres and at least 3x
+below the ML methods; Simplicity tiny; PessEst stores nothing.
+"""
+
+from repro.harness import fig8a_memory, format_table
+
+
+def test_fig8a_memory(benchmark, suite, show):
+    rows = benchmark(fig8a_memory, suite)
+    show(format_table(
+        ["workload", "method", "statistics KiB"],
+        rows,
+        title="Fig 8a — statistics memory footprint (KiB)",
+    ))
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    for workload in {r[0] for r in rows}:
+        sb = by_key[(workload, "SafeBound")]
+        nc = by_key.get((workload, "NeuroCard"))
+        pe = by_key.get((workload, "PessEst"))
+        assert pe == 0.0  # PessEst pre-computes nothing
+        if nc:
+            assert sb < nc * 2  # compact relative to the ML surrogate

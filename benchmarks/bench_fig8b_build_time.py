@@ -1,0 +1,21 @@
+"""Fig 8b: offline statistics construction time.
+
+Paper shape: traditional estimators are fastest (they sample); SafeBound
+is slower than Postgres but 2-20x faster than the ML methods' training.
+At laptop scale our ML surrogates train quickly, so the assertion is the
+weaker ordering: Postgres <= SafeBound, and everything finite.
+"""
+
+from repro.harness import fig8b_build_time, format_table
+
+
+def test_fig8b_build_time(benchmark, suite, show):
+    rows = benchmark(fig8b_build_time, suite)
+    show(format_table(
+        ["workload", "method", "build seconds"],
+        rows,
+        title="Fig 8b — statistics construction time (s)",
+    ))
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    for workload in {r[0] for r in rows}:
+        assert by_key[(workload, "Postgres")] <= by_key[(workload, "SafeBound")]

@@ -1,0 +1,30 @@
+"""Fig 9a: FK-index performance regressions, Postgres vs SafeBound.
+
+Paper shape: with cardinality bounds the optimizer uses new indexes only
+when safe, so SafeBound produces about half as many regressions as
+Postgres (129 vs 259) and they are about half as severe (1.7x vs 3.3x).
+"""
+
+from repro.harness import SuiteConfig, fig9a_regressions, format_table
+
+
+def test_fig9a_regressions(benchmark, show):
+    config = SuiteConfig(
+        imdb_scale=0.12,
+        stats_scale=0.12,
+        num_job_light=16,
+        num_job_light_ranges=16,
+        num_job_m=8,
+        num_stats=14,
+        methods=["TrueCardinality", "Postgres", "SafeBound"],
+    )
+    rows = benchmark.pedantic(fig9a_regressions, args=(config,), rounds=1, iterations=1)
+    show(format_table(
+        ["method", "regressions", "mean severity", "queries"],
+        rows,
+        title="Fig 9a — FK-index performance regressions",
+    ))
+    by_method = {r[0]: r for r in rows}
+    pg_count = by_method["Postgres"][1]
+    sb_count = by_method["SafeBound"][1]
+    assert sb_count <= pg_count

@@ -1,0 +1,25 @@
+"""Fig 9c: clustering strategies for CDS group compression.
+
+Paper shape: complete-linkage clustering yields lower error than single
+linkage and naive equal-size grouping at every compression ratio.
+"""
+
+import numpy as np
+
+from repro.harness import fig9c_clustering, format_table
+
+
+def test_fig9c_clustering(benchmark, bench_imdb, show):
+    rows = benchmark.pedantic(
+        fig9c_clustering, args=(bench_imdb,), rounds=1, iterations=1
+    )
+    show(format_table(
+        ["clustering", "compression ratio", "avg relative self-join error"],
+        rows,
+        title="Fig 9c — group-compression error by clustering method",
+    ))
+    by_method = {}
+    for method, ratio, err in rows:
+        by_method.setdefault(method, []).append(err)
+    assert np.mean(by_method["complete"]) <= np.mean(by_method["naive"])
+    assert np.mean(by_method["complete"]) <= np.mean(by_method["single"]) * 1.2

@@ -1,0 +1,56 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+The end-to-end suite (build + plan + execute for every estimator on all
+four workloads) is computed once per pytest session and shared by the
+Fig 5-8 benchmarks.  ``REPRO_BENCH_SCALE`` scales the datasets (default
+0.2; the paper's IMDB is several orders of magnitude larger — see
+EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import SuiteConfig, run_end_to_end
+from repro.workloads import make_imdb
+
+
+def bench_config() -> SuiteConfig:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+    return SuiteConfig(
+        imdb_scale=scale,
+        stats_scale=scale,
+        num_job_light=int(os.environ.get("REPRO_BENCH_JOB_LIGHT", "30")),
+        num_job_light_ranges=int(os.environ.get("REPRO_BENCH_RANGES", "40")),
+        num_job_m=int(os.environ.get("REPRO_BENCH_JOB_M", "20")),
+        num_stats=int(os.environ.get("REPRO_BENCH_STATS", "30")),
+    )
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return run_end_to_end(bench_config())
+
+
+@pytest.fixture(scope="session")
+def bench_imdb():
+    return make_imdb(scale=0.2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def show(pytestconfig):
+    """Print a figure table so it survives pytest's output capture."""
+    capman = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    def _show(text: str) -> None:
+        import sys
+
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print("\n" + text, file=sys.stderr, flush=True)
+        else:
+            print("\n" + text, file=sys.stderr, flush=True)
+
+    return _show

@@ -1,0 +1,17 @@
+"""repro — a from-scratch reproduction of SafeBound (SIGMOD 2023).
+
+Public API highlights:
+
+* :class:`repro.core.SafeBound` — the cardinality bounding system;
+* :mod:`repro.db` — the in-memory relational substrate;
+* :mod:`repro.optimizer` — a cost-based optimizer with injected estimates;
+* :mod:`repro.estimators` — every baseline the paper compares against;
+* :mod:`repro.workloads` — synthetic IMDB / STATS / TPC-H benchmarks;
+* :mod:`repro.harness` — experiment runners for every paper figure.
+"""
+
+from .core import SafeBound, SafeBoundConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["SafeBound", "SafeBoundConfig", "__version__"]

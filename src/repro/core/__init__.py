@@ -1,0 +1,60 @@
+"""SafeBound core: degree sequences, compression, conditioning, FDSB."""
+
+from .bound import FdsbEngine, worst_case_instance_column
+from .compression import (
+    dominate_ds_compress,
+    equi_depth_compress,
+    exponential_compress,
+    reduce_cds_segments,
+    relative_self_join_error,
+    self_join_bound,
+    valid_compress,
+)
+from .conditioning import ConditioningConfig
+from .degree_sequence import DegreeSequence
+from .piecewise import (
+    PiecewiseConstant,
+    PiecewiseLinear,
+    concave_envelope,
+    pointwise_max,
+    pointwise_min,
+    pointwise_sum,
+)
+from .predicates import And, Eq, InList, Like, Or, Predicate, Range
+from .safebound import SafeBound, SafeBoundConfig
+from .serialization import load_stats, save_stats, stats_file_bytes
+from .updates import FrequencyCounter, IncrementalColumnStats
+
+__all__ = [
+    "SafeBound",
+    "SafeBoundConfig",
+    "ConditioningConfig",
+    "DegreeSequence",
+    "FdsbEngine",
+    "worst_case_instance_column",
+    "valid_compress",
+    "equi_depth_compress",
+    "exponential_compress",
+    "dominate_ds_compress",
+    "reduce_cds_segments",
+    "self_join_bound",
+    "relative_self_join_error",
+    "PiecewiseConstant",
+    "PiecewiseLinear",
+    "concave_envelope",
+    "pointwise_min",
+    "pointwise_max",
+    "pointwise_sum",
+    "Predicate",
+    "Eq",
+    "Range",
+    "Like",
+    "InList",
+    "And",
+    "Or",
+    "save_stats",
+    "load_stats",
+    "stats_file_bytes",
+    "FrequencyCounter",
+    "IncrementalColumnStats",
+]

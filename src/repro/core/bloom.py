@@ -1,0 +1,51 @@
+"""A Bloom filter for MCV membership (Sec 4.3 of the paper).
+
+SafeBound stores one filter per CDS group; at query time it probes every
+group's filter and takes the maximum over the CDS sets whose filter answers
+positively.  False positives only ever *add* candidates to the max, so the
+bound stays sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """A classic Bloom filter over arbitrary hashable values.
+
+    Sized for ~12 bits/value (the paper's figure), which gives roughly a
+    0.3% false-positive rate with the optimal number of hash functions.
+    """
+
+    BITS_PER_VALUE = 12
+
+    def __init__(self, expected_items: int) -> None:
+        expected_items = max(expected_items, 1)
+        self.num_bits = max(self.BITS_PER_VALUE * expected_items, 8)
+        self.num_hashes = max(int(round(math.log(2) * self.num_bits / expected_items)), 1)
+        self.bits = np.zeros(self.num_bits, dtype=bool)
+        self.num_items = 0
+
+    # ------------------------------------------------------------------
+    def _positions(self, value) -> list[int]:
+        digest = hashlib.blake2b(repr(value).encode(), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        return [(h1 + i * h2) % self.num_bits for i in range(self.num_hashes)]
+
+    def add(self, value) -> None:
+        for pos in self._positions(value):
+            self.bits[pos] = True
+        self.num_items += 1
+
+    def __contains__(self, value) -> bool:
+        return all(self.bits[pos] for pos in self._positions(value))
+
+    def memory_bytes(self) -> int:
+        return (self.num_bits + 7) // 8

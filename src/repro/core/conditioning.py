@@ -1,0 +1,543 @@
+"""Predicate-conditioned degree sequences (Sec 3.2 + Sec 4 of the paper).
+
+For every *join* column of a relation, SafeBound stores — besides the
+unconditioned compressed CDS — a family of CDSs conditioned on predicates
+over each *filter* column:
+
+* **equality**: one CDS per most-common value (MCV), plus a default that is
+  the pointwise max over all non-MCV values' CDSs (Eq. 3, applied to CDSs);
+* **range**: a hierarchy of equi-depth histograms with ``2^k .. 2`` buckets;
+  a range predicate uses the smallest single bucket containing it;
+* **LIKE**: one CDS per most-common 3-gram, combined by pointwise min over
+  the grams of the pattern;
+* **conjunction** = pointwise min, **disjunction / IN** = pointwise sum
+  (capped at the unconditioned CDS).
+
+The group-compression optimization (Sec 4.1) clusters each family's CDSs
+and keeps only the concave envelope of each cluster's pointwise maximum;
+Bloom filters (Sec 4.3) replace the MCV dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bloom import BloomFilter
+from .clustering import cluster_cds, group_maxima
+from .compression import reduce_cds_segments, valid_compress
+from .degree_sequence import DegreeSequence
+from .piecewise import (
+    PiecewiseLinear,
+    concave_envelope,
+    pointwise_min,
+    pointwise_sum,
+)
+from .predicates import And, Eq, InList, Like, Or, Predicate, Range, trigrams
+
+__all__ = [
+    "ConditioningConfig",
+    "EqualityStats",
+    "HistogramStats",
+    "TrigramStats",
+    "FilterColumnStats",
+    "JoinColumnStats",
+    "build_join_column_stats",
+    "pair_group_sequences",
+    "max_cds_over_groups",
+]
+
+_PL_BYTES_PER_BREAKPOINT = 16  # two float64 per breakpoint
+
+
+def _canonical_value(value):
+    """Normalise lookup keys so numpy scalars, Python ints and floats that
+    denote the same number hit the same MCV entry."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    return value
+
+
+@dataclass
+class ConditioningConfig:
+    """Knobs of the offline conditioning phase.
+
+    Defaults are scaled-down versions of the paper's choices (MCV lists of
+    1000-5000 values, k=7 histogram levels) appropriate for the synthetic
+    laptop-scale datasets used in this reproduction.
+    """
+
+    compression_accuracy: float = 0.01
+    mcv_size: int = 100
+    histogram_levels: int = 5
+    trigram_mcv_size: int = 60
+    cds_group_count: int = 16
+    clustering_method: str = "complete"
+    use_bloom_filters: bool = True
+    max_default_segments: int = 24
+    # "base": sound fallback for LIKE patterns with no known gram (uses the
+    # unconditioned CDS).  "nogram": the paper's behaviour (uses the CDS
+    # conditioned on containing no common gram), which can in principle
+    # undershoot; see DESIGN.md.
+    like_default_mode: str = "base"
+
+
+# ----------------------------------------------------------------------
+# Vectorised helpers: per-group conditioned degree sequences
+# ----------------------------------------------------------------------
+def _factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(codes, uniques)`` — like pandas.factorize but numpy-only."""
+    uniques, codes = np.unique(values, return_inverse=True)
+    return codes, uniques
+
+
+def pair_group_sequences(group_codes: np.ndarray, join_values: np.ndarray):
+    """Per-group conditioned degree-sequence data, fully vectorised.
+
+    Returns ``(codes, counts, ranks, cumsums)`` where each entry describes
+    one (group, join-value) pair: the group code, the pair's frequency, its
+    1-based rank within the group in descending frequency order, and the
+    running frequency sum within the group (i.e. the group's CDS sampled at
+    that rank).
+    """
+    if not len(group_codes):
+        empty = np.array([], dtype=np.int64)
+        return empty, empty, empty, empty.astype(float)
+    order = np.lexsort((join_values, group_codes))
+    g = group_codes[order]
+    v = join_values[order]
+    new_pair = np.concatenate(([True], (g[1:] != g[:-1]) | (v[1:] != v[:-1])))
+    starts = np.flatnonzero(new_pair)
+    pair_group = g[starts]
+    pair_count = np.diff(np.concatenate((starts, [len(g)])))
+    # Sort pairs by (group, count desc) to get within-group ranks.
+    order2 = np.lexsort((-pair_count, pair_group))
+    pg = pair_group[order2]
+    pc = pair_count[order2]
+    new_group = np.concatenate(([True], pg[1:] != pg[:-1]))
+    idx = np.arange(len(pg))
+    group_start = np.maximum.accumulate(np.where(new_group, idx, 0))
+    ranks = idx - group_start + 1
+    cs = np.cumsum(pc)
+    cs_at_start = cs[group_start] - pc[group_start]
+    cumsums = (cs - cs_at_start).astype(float)
+    return pg, pc, ranks, cumsums
+
+
+def max_cds_over_groups(
+    ranks: np.ndarray, cumsums: np.ndarray, include_mask: np.ndarray
+) -> PiecewiseLinear:
+    """The exact pointwise max of group CDSs, via a scatter-max over ranks.
+
+    ``M(i) = max_g F_g(i)``; because every ``F_g`` is flat after its last
+    rank, a running maximum over the scattered values is exact.
+    """
+    ranks = ranks[include_mask]
+    cumsums = cumsums[include_mask]
+    if not len(ranks):
+        return PiecewiseLinear.zero()
+    max_rank = int(ranks.max())
+    m = np.zeros(max_rank)
+    np.maximum.at(m, ranks - 1, cumsums)
+    m = np.maximum.accumulate(m)
+    xs = np.arange(max_rank + 1, dtype=float)
+    ys = np.concatenate(([0.0], m))
+    return concave_envelope(PiecewiseLinear(xs, ys))
+
+
+def _compress_group(
+    sequences: list[PiecewiseLinear], config: ConditioningConfig
+) -> tuple[list[PiecewiseLinear], np.ndarray]:
+    """Cluster a CDS family and return (representatives, label per member)."""
+    if not sequences:
+        return [], np.array([], dtype=int)
+    if config.cds_group_count <= 0 or len(sequences) <= config.cds_group_count:
+        return sequences, np.arange(len(sequences))
+    labels = cluster_cds(sequences, config.cds_group_count, config.clustering_method)
+    return group_maxima(sequences, labels)
+
+
+def _cds_of_frequencies(freqs: np.ndarray, config: ConditioningConfig) -> PiecewiseLinear:
+    ds = DegreeSequence.from_frequencies(freqs)
+    return valid_compress(ds, config.compression_accuracy)
+
+
+# ----------------------------------------------------------------------
+# Equality predicates: MCV lists
+# ----------------------------------------------------------------------
+@dataclass
+class EqualityStats:
+    """MCV-conditioned CDSs for equality predicates on one filter column."""
+
+    reps: list[PiecewiseLinear]
+    default_cds: PiecewiseLinear
+    value_to_group: dict | None = None
+    blooms: list[BloomFilter] | None = None
+
+    def lookup(self, value) -> PiecewiseLinear:
+        value = _canonical_value(value)
+        if self.blooms is not None:
+            positive = [
+                self.reps[g] for g, bloom in enumerate(self.blooms) if value in bloom
+            ]
+            if not positive:
+                return self.default_cds
+            if len(positive) == 1:
+                return positive[0]
+            # Several groups match (false positives included): any of them
+            # might hold the value, so take the max — still a sound bound.
+            from .piecewise import pointwise_max
+
+            return concave_envelope(pointwise_max(positive))
+        group = (self.value_to_group or {}).get(value)
+        if group is None:
+            return self.default_cds
+        return self.reps[group]
+
+    def memory_bytes(self) -> int:
+        total = sum(_PL_BYTES_PER_BREAKPOINT * len(r.xs) for r in self.reps)
+        total += _PL_BYTES_PER_BREAKPOINT * len(self.default_cds.xs)
+        if self.blooms is not None:
+            total += sum(b.memory_bytes() for b in self.blooms)
+        elif self.value_to_group is not None:
+            total += sum(len(str(v)) + 8 for v in self.value_to_group)
+        return total
+
+
+def _build_equality_stats(
+    filter_values: np.ndarray, join_values: np.ndarray, config: ConditioningConfig
+) -> EqualityStats:
+    codes, uniques = _factorize(filter_values)
+    pg, pc, ranks, cumsums = pair_group_sequences(codes, join_values)
+    group_totals = np.zeros(len(uniques))
+    np.add.at(group_totals, pg, pc.astype(float))
+    mcv_count = min(config.mcv_size, len(uniques))
+    mcv_codes = np.argsort(group_totals, kind="stable")[::-1][:mcv_count]
+    mcv_set = set(int(c) for c in mcv_codes)
+
+    sequences: list[PiecewiseLinear] = []
+    values_per_seq: list[object] = []
+    for code in mcv_codes:
+        freqs = pc[pg == code]
+        sequences.append(_cds_of_frequencies(freqs, config))
+        values_per_seq.append(_canonical_value(uniques[code]))
+
+    non_mcv_mask = ~np.isin(pg, mcv_codes)
+    default = max_cds_over_groups(ranks, cumsums, non_mcv_mask)
+    default = reduce_cds_segments(default, config.max_default_segments)
+
+    reps, labels = _compress_group(sequences, config)
+    value_to_group = {v: int(l) for v, l in zip(values_per_seq, labels)}
+    blooms = None
+    if config.use_bloom_filters and reps:
+        members: dict[int, list] = {}
+        for v, g in value_to_group.items():
+            members.setdefault(g, []).append(v)
+        blooms = []
+        for g in range(len(reps)):
+            bloom = BloomFilter(len(members.get(g, [])) or 1)
+            for v in members.get(g, []):
+                bloom.add(v)
+            blooms.append(bloom)
+        value_to_group = None
+    return EqualityStats(reps, default, value_to_group, blooms)
+
+
+# ----------------------------------------------------------------------
+# Range predicates: hierarchical equi-depth histograms
+# ----------------------------------------------------------------------
+@dataclass
+class HistogramStats:
+    """A hierarchy of equi-depth histograms with per-bucket CDSs.
+
+    ``boundaries`` are the finest-level bucket edges (``2^levels + 1``
+    values); level ``j`` (from 1=coarsest pair to ``levels``=finest) has
+    ``2^j`` buckets, each covering ``2^(levels-j)`` finest buckets.
+    """
+
+    boundaries: np.ndarray
+    levels: int
+    reps: list[PiecewiseLinear]
+    bucket_group: dict[tuple[int, int], int]
+    base: PiecewiseLinear
+
+    def lookup(self, low, high) -> PiecewiseLinear:
+        """CDS bound for a range predicate over ``[low, high]``.
+
+        Primary rule (paper, Sec 3.2): the smallest single bucket fully
+        containing the range.  Refinement: ranges that straddle a bucket
+        boundary at every level would otherwise fall back to the whole
+        column; instead we also consider the *sum* of the two adjacent
+        covering buckets at the deepest level (sound: the matching rows are
+        a subset of their union) and return the pointwise minimum of all
+        candidates, capped by the unconditioned CDS.
+        """
+        lo = self.boundaries[0] if low is None else low
+        hi = self.boundaries[-1] if high is None else high
+        fine = len(self.boundaries) - 2  # max finest bucket index
+        b_lo = int(np.clip(np.searchsorted(self.boundaries, lo, "right") - 1, 0, fine))
+        b_hi = int(np.clip(np.searchsorted(self.boundaries, hi, "right") - 1, 0, fine))
+        candidates: list[PiecewiseLinear] = [self.base]
+        pair_candidate_found = False
+        for level in range(self.levels, 0, -1):
+            shift = self.levels - level
+            c_lo, c_hi = b_lo >> shift, b_hi >> shift
+            if c_lo == c_hi:
+                group = self.bucket_group.get((level, c_lo))
+                if group is not None:
+                    candidates.append(self.reps[group])
+                    break
+            elif c_hi - c_lo == 1 and not pair_candidate_found:
+                g_lo = self.bucket_group.get((level, c_lo))
+                g_hi = self.bucket_group.get((level, c_hi))
+                if g_lo is not None and g_hi is not None:
+                    candidates.append(
+                        pointwise_sum([self.reps[g_lo], self.reps[g_hi]])
+                    )
+                    pair_candidate_found = True
+        if len(candidates) == 1:
+            return self.base
+        return pointwise_min(candidates)
+
+    def memory_bytes(self) -> int:
+        total = self.boundaries.nbytes
+        total += sum(_PL_BYTES_PER_BREAKPOINT * len(r.xs) for r in self.reps)
+        total += 12 * len(self.bucket_group)
+        return total
+
+
+def _build_histogram_stats(
+    filter_values: np.ndarray,
+    join_values: np.ndarray,
+    base: PiecewiseLinear,
+    config: ConditioningConfig,
+) -> HistogramStats:
+    levels = config.histogram_levels
+    num_fine = 2**levels
+    quantiles = np.linspace(0, 1, num_fine + 1)
+    boundaries = np.quantile(filter_values.astype(float), quantiles)
+    boundaries = np.unique(boundaries)
+    if len(boundaries) < 2:
+        boundaries = np.array([boundaries[0], boundaries[0] + 1.0])
+    # Re-derive the effective level count when ties collapse buckets.
+    eff_fine = len(boundaries) - 1
+    levels = max(int(np.floor(np.log2(eff_fine))), 1) if eff_fine > 1 else 1
+    num_fine = 2**levels
+    # Evenly re-space to exactly 2^levels buckets.
+    idx = np.round(np.linspace(0, eff_fine, num_fine + 1)).astype(int)
+    boundaries = boundaries[np.unique(idx)]
+    num_fine = len(boundaries) - 1
+
+    fine_codes = np.clip(
+        np.searchsorted(boundaries, filter_values.astype(float), "right") - 1,
+        0,
+        num_fine - 1,
+    )
+    sequences: list[PiecewiseLinear] = []
+    keys: list[tuple[int, int]] = []
+    for level in range(levels, 0, -1):
+        shift = levels - level
+        codes = fine_codes >> shift
+        pg, pc, _, _ = pair_group_sequences(codes, join_values)
+        for bucket in np.unique(pg):
+            freqs = pc[pg == bucket]
+            sequences.append(_cds_of_frequencies(freqs, config))
+            keys.append((level, int(bucket)))
+    reps, labels = _compress_group(sequences, config)
+    bucket_group = {k: int(l) for k, l in zip(keys, labels)}
+    return HistogramStats(boundaries, levels, reps, bucket_group, base)
+
+
+# ----------------------------------------------------------------------
+# LIKE predicates: 3-gram MCVs
+# ----------------------------------------------------------------------
+@dataclass
+class TrigramStats:
+    """Conditioned CDSs per common 3-gram of a string filter column."""
+
+    reps: list[PiecewiseLinear]
+    gram_to_group: dict[str, int]
+    no_common_gram_cds: PiecewiseLinear
+    base: PiecewiseLinear
+
+    def lookup(self, pattern: str, mode: str = "base") -> PiecewiseLinear:
+        grams = trigrams(pattern)
+        found = [self.reps[self.gram_to_group[g]] for g in grams if g in self.gram_to_group]
+        if found:
+            return pointwise_min(found) if len(found) > 1 else found[0]
+        return self.no_common_gram_cds if mode == "nogram" else self.base
+
+    def memory_bytes(self) -> int:
+        total = sum(_PL_BYTES_PER_BREAKPOINT * len(r.xs) for r in self.reps)
+        total += _PL_BYTES_PER_BREAKPOINT * len(self.no_common_gram_cds.xs)
+        total += sum(len(g) + 8 for g in self.gram_to_group)
+        return total
+
+
+def _build_trigram_stats(
+    filter_values: np.ndarray,
+    join_values: np.ndarray,
+    base: PiecewiseLinear,
+    config: ConditioningConfig,
+) -> TrigramStats:
+    gram_counts: dict[str, int] = {}
+    row_grams: list[set[str]] = []
+    for value in filter_values.tolist():
+        grams = set(trigrams(value)) if isinstance(value, str) else set()
+        row_grams.append(grams)
+        for g in grams:
+            gram_counts[g] = gram_counts.get(g, 0) + 1
+    top = sorted(gram_counts, key=lambda g: (-gram_counts[g], g))[
+        : config.trigram_mcv_size
+    ]
+    top_set = set(top)
+    gram_rows: dict[str, list[int]] = {g: [] for g in top}
+    no_gram_rows: list[int] = []
+    for i, grams in enumerate(row_grams):
+        common = grams & top_set
+        if not common:
+            no_gram_rows.append(i)
+        for g in common:
+            gram_rows[g].append(i)
+    sequences = []
+    for g in top:
+        ds = DegreeSequence.from_column(join_values[np.array(gram_rows[g], dtype=int)])
+        sequences.append(valid_compress(ds, config.compression_accuracy))
+    if no_gram_rows:
+        ds = DegreeSequence.from_column(join_values[np.array(no_gram_rows, dtype=int)])
+        no_common = valid_compress(ds, config.compression_accuracy)
+    else:
+        no_common = PiecewiseLinear.zero()
+    reps, labels = _compress_group(sequences, config)
+    gram_to_group = {g: int(l) for g, l in zip(top, labels)}
+    return TrigramStats(reps, gram_to_group, no_common, base)
+
+
+# ----------------------------------------------------------------------
+# Per filter column / per join column aggregation
+# ----------------------------------------------------------------------
+@dataclass
+class FilterColumnStats:
+    """All conditioned statistics of one (join column, filter column) pair."""
+
+    equality: EqualityStats | None = None
+    histogram: HistogramStats | None = None
+    trigram: TrigramStats | None = None
+
+    def memory_bytes(self) -> int:
+        total = 0
+        for part in (self.equality, self.histogram, self.trigram):
+            if part is not None:
+                total += part.memory_bytes()
+        return total
+
+    def num_sequences(self) -> int:
+        total = 0
+        if self.equality is not None:
+            total += len(self.equality.reps) + 1
+        if self.histogram is not None:
+            total += len(self.histogram.reps)
+        if self.trigram is not None:
+            total += len(self.trigram.reps) + 1
+        return total
+
+
+@dataclass
+class JoinColumnStats:
+    """The statistics SafeBound keeps for one join column of a relation."""
+
+    column: str
+    base: PiecewiseLinear
+    filters: dict[str, FilterColumnStats] = field(default_factory=dict)
+    like_default_mode: str = "base"
+
+    # ------------------------------------------------------------------
+    def condition(self, predicate: Predicate | None) -> PiecewiseLinear:
+        """The CDS of this join column conditioned on a predicate tree."""
+        if predicate is None:
+            return self.base
+        cds = self._condition_node(predicate)
+        if cds is None:
+            return self.base
+        return cds
+
+    def _condition_node(self, node: Predicate) -> PiecewiseLinear | None:
+        """None means "no information" (treated as the unconditioned CDS)."""
+        if isinstance(node, And):
+            parts = [self._condition_node(c) for c in node.children]
+            parts = [p for p in parts if p is not None]
+            if not parts:
+                return None
+            return pointwise_min(parts) if len(parts) > 1 else parts[0]
+        if isinstance(node, (Or, InList)):
+            children = (
+                node.as_disjunction().children if isinstance(node, InList) else node.children
+            )
+            parts = [self._condition_node(c) for c in children]
+            if any(p is None for p in parts) or not parts:
+                return None  # one unknown disjunct could select anything
+            summed = pointwise_sum(parts)
+            return pointwise_min([summed, self.base])
+        if isinstance(node, Eq):
+            stats = self.filters.get(node.column)
+            if stats is None or stats.equality is None:
+                return None
+            return stats.equality.lookup(node.value)
+        if isinstance(node, Range):
+            stats = self.filters.get(node.column)
+            if stats is None or stats.histogram is None:
+                return None
+            return stats.histogram.lookup(node.low, node.high)
+        if isinstance(node, Like):
+            stats = self.filters.get(node.column)
+            if stats is None or stats.trigram is None:
+                return None
+            return stats.trigram.lookup(node.pattern, self.like_default_mode)
+        return None
+
+    def memory_bytes(self) -> int:
+        total = _PL_BYTES_PER_BREAKPOINT * len(self.base.xs)
+        total += sum(f.memory_bytes() for f in self.filters.values())
+        return total
+
+    def num_sequences(self) -> int:
+        return 1 + sum(f.num_sequences() for f in self.filters.values())
+
+
+# ----------------------------------------------------------------------
+def build_join_column_stats(
+    column: str,
+    join_values: np.ndarray,
+    filter_columns: dict[str, np.ndarray],
+    config: ConditioningConfig,
+) -> JoinColumnStats:
+    """Offline construction of all statistics for one join column.
+
+    ``filter_columns`` maps filter-column name to its (full-table) values;
+    numeric columns get MCV + histogram statistics, string columns get MCV
+    + trigram statistics.
+    """
+    base_ds = DegreeSequence.from_column(join_values)
+    base = valid_compress(base_ds, config.compression_accuracy)
+    stats = JoinColumnStats(column, base, like_default_mode=config.like_default_mode)
+    for fcol, fvalues in filter_columns.items():
+        if fcol == column:
+            continue
+        is_string = fvalues.dtype == object
+        fstats = FilterColumnStats()
+        if is_string:
+            clean = np.array(
+                [v if isinstance(v, str) else "" for v in fvalues.tolist()], dtype=object
+            )
+            fstats.equality = _build_equality_stats(clean, join_values, config)
+            fstats.trigram = _build_trigram_stats(clean, join_values, base, config)
+        else:
+            fstats.equality = _build_equality_stats(fvalues, join_values, config)
+            fstats.histogram = _build_histogram_stats(fvalues, join_values, base, config)
+        stats.filters[fcol] = fstats
+    return stats

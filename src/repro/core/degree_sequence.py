@@ -1,0 +1,136 @@
+"""Exact degree sequences and cumulative degree sequences.
+
+The degree sequence (DS) of a column is the descending list of value
+frequencies (Sec 2.2 of the paper).  We store it run-length encoded — pairs
+``(frequency, how_many_values_have_it)`` in descending frequency order —
+because real degree sequences have few distinct frequencies (Lemma 3.3:
+at most ``min(sqrt(2N), f(1))`` runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .piecewise import PiecewiseConstant, PiecewiseLinear
+
+__all__ = ["DegreeSequence"]
+
+
+@dataclass(frozen=True)
+class DegreeSequence:
+    """A run-length-encoded exact degree sequence.
+
+    ``freqs`` are the distinct frequencies in strictly descending order and
+    ``counts[i]`` is the number of distinct column values whose frequency is
+    ``freqs[i]``.
+    """
+
+    freqs: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        freqs = np.asarray(self.freqs, dtype=np.int64)
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if freqs.shape != counts.shape:
+            raise ValueError("freqs and counts must have the same length")
+        if len(freqs) and np.any(np.diff(freqs) >= 0):
+            raise ValueError("frequencies must be strictly descending")
+        if np.any(freqs <= 0) or np.any(counts <= 0):
+            raise ValueError("frequencies and counts must be positive")
+        object.__setattr__(self, "freqs", freqs)
+        object.__setattr__(self, "counts", counts)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_column(values: np.ndarray) -> "DegreeSequence":
+        """Compute the degree sequence of a column (any dtype)."""
+        if len(values) == 0:
+            return DegreeSequence(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        if values.dtype == object:
+            # np.unique on object arrays requires sortable values; map via hash
+            # of a dict instead to stay robust for mixed content.
+            seen: dict = {}
+            for v in values.tolist():
+                seen[v] = seen.get(v, 0) + 1
+            freq_of_value = np.fromiter(seen.values(), dtype=np.int64)
+        else:
+            _, freq_of_value = np.unique(values, return_counts=True)
+        freqs, counts = np.unique(freq_of_value, return_counts=True)
+        order = np.argsort(freqs)[::-1]
+        return DegreeSequence(freqs[order], counts[order])
+
+    @staticmethod
+    def from_frequencies(freq_of_value: np.ndarray) -> "DegreeSequence":
+        """Build from per-value frequencies (not necessarily sorted)."""
+        freq_of_value = np.asarray(freq_of_value, dtype=np.int64)
+        freq_of_value = freq_of_value[freq_of_value > 0]
+        if len(freq_of_value) == 0:
+            return DegreeSequence(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        freqs, counts = np.unique(freq_of_value, return_counts=True)
+        order = np.argsort(freqs)[::-1]
+        return DegreeSequence(freqs[order], counts[order])
+
+    # ------------------------------------------------------------------
+    # Statistics the paper highlights (Sec 2.4)
+    # ------------------------------------------------------------------
+    @property
+    def cardinality(self) -> int:
+        """``||f||_1`` — the number of tuples."""
+        return int(np.dot(self.freqs, self.counts))
+
+    @property
+    def num_distinct(self) -> int:
+        """``||f||_0`` — the number of distinct values."""
+        return int(self.counts.sum())
+
+    @property
+    def max_frequency(self) -> int:
+        """``||f||_inf`` — the maximum degree."""
+        return int(self.freqs[0]) if len(self.freqs) else 0
+
+    @property
+    def self_join_size(self) -> int:
+        """``sum_i f(i)^2`` — the exact DSB of the self-join (Alg 1, line 2)."""
+        return int(np.dot(self.freqs.astype(object) ** 2, self.counts.astype(object)))
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.freqs)
+
+    def frequency_at_rank(self, rank: int) -> int:
+        """``f(rank)`` for integer ``rank`` in ``[1, num_distinct]``."""
+        if rank < 1 or rank > self.num_distinct:
+            return 0
+        boundaries = np.cumsum(self.counts)
+        idx = int(np.searchsorted(boundaries, rank, side="left"))
+        return int(self.freqs[idx])
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_step_function(self) -> PiecewiseConstant:
+        """The exact DS as a step function on ``(0, num_distinct]``."""
+        if not len(self.freqs):
+            return PiecewiseConstant.empty()
+        edges = np.cumsum(self.counts).astype(float)
+        return PiecewiseConstant(edges, self.freqs.astype(float))
+
+    def to_cds(self) -> PiecewiseLinear:
+        """The exact CDS as a lossless piecewise-linear function.
+
+        This is the "natural" lossless compression of Lemma 3.3: one linear
+        segment per run of equal frequencies.
+        """
+        if not len(self.freqs):
+            return PiecewiseLinear.zero()
+        xs = np.concatenate(([0.0], np.cumsum(self.counts).astype(float)))
+        ys = np.concatenate(([0.0], np.cumsum(self.freqs * self.counts).astype(float)))
+        return PiecewiseLinear(xs, ys)
+
+    def expand(self) -> np.ndarray:
+        """The full sorted frequency vector ``f(1) >= f(2) >= ...``."""
+        return np.repeat(self.freqs, self.counts)

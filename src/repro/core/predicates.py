@@ -1,0 +1,208 @@
+"""Predicate AST shared by the query model, the executor and SafeBound.
+
+SafeBound supports the paper's five predicate classes (Sec 3.2): equality,
+range, LIKE, conjunction and disjunction; ``IN`` is syntactic sugar for a
+disjunction of equalities.  Each node knows how to evaluate itself against
+column arrays, which is what the executor and the scan-based estimators
+(PessEst) use; SafeBound itself never touches the data at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Predicate",
+    "Eq",
+    "Range",
+    "Like",
+    "InList",
+    "And",
+    "Or",
+    "columns_referenced",
+    "trigrams",
+]
+
+
+class Predicate:
+    """Base class for predicate tree nodes."""
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Return a boolean mask over the rows of the given columns."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``column = value``."""
+
+    column: str
+    value: object
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return columns[self.column] == self.value
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        return f"{self.column} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """``low <op> column <op> high`` with inclusive/exclusive endpoints.
+
+    ``low=None`` / ``high=None`` give one-sided comparisons, so this node
+    covers ``<``, ``<=``, ``>``, ``>=`` and ``BETWEEN``.
+    """
+
+    column: str
+    low: float | None = None
+    high: float | None = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        col = columns[self.column]
+        mask = np.ones(len(col), dtype=bool)
+        if self.low is not None:
+            mask &= (col >= self.low) if self.low_inclusive else (col > self.low)
+        if self.high is not None:
+            mask &= (col <= self.high) if self.high_inclusive else (col < self.high)
+        return mask
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        lo = "" if self.low is None else f"{self.low} {'<=' if self.low_inclusive else '<'} "
+        hi = "" if self.high is None else f" {'<=' if self.high_inclusive else '<'} {self.high}"
+        return f"{lo}{self.column}{hi}"
+
+
+@dataclass(frozen=True)
+class Like(Predicate):
+    """``column LIKE '%pattern%'`` — substring containment.
+
+    SafeBound's 3-gram conditioning (Sec 3.2) only exploits the literal
+    text, so we model the common ``%...%`` form; the executor performs an
+    exact substring check.
+    """
+
+    column: str
+    pattern: str
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        col = columns[self.column]
+        pat = self.pattern
+        return np.fromiter(
+            (pat in v if isinstance(v, str) else False for v in col.tolist()),
+            dtype=bool,
+            count=len(col),
+        )
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        return f"{self.column} LIKE '%{self.pattern}%'"
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``column IN (v1, v2, ...)`` — a disjunction of equalities."""
+
+    column: str
+    values: tuple
+
+    def __init__(self, column: str, values) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.isin(columns[self.column], np.array(list(self.values), dtype=object))
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+    def as_disjunction(self) -> "Or":
+        return Or(tuple(Eq(self.column, v) for v in self.values))
+
+    def __repr__(self) -> str:
+        return f"{self.column} IN {self.values!r}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of child predicates."""
+
+    children: tuple = field(default_factory=tuple)
+
+    def __init__(self, children) -> None:
+        object.__setattr__(self, "children", tuple(children))
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        n = len(next(iter(columns.values())))
+        mask = np.ones(n, dtype=bool)
+        for child in self.children:
+            mask &= child.evaluate(columns)
+        return mask
+
+    def referenced_columns(self) -> set[str]:
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.referenced_columns()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of child predicates."""
+
+    children: tuple = field(default_factory=tuple)
+
+    def __init__(self, children) -> None:
+        object.__setattr__(self, "children", tuple(children))
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        n = len(next(iter(columns.values())))
+        mask = np.zeros(n, dtype=bool)
+        for child in self.children:
+            mask |= child.evaluate(columns)
+        return mask
+
+    def referenced_columns(self) -> set[str]:
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.referenced_columns()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(c) for c in self.children) + ")"
+
+
+def columns_referenced(predicate: Predicate | None) -> set[str]:
+    """The set of column names a predicate tree touches (empty for None)."""
+    if predicate is None:
+        return set()
+    return predicate.referenced_columns()
+
+
+def trigrams(text: str) -> list[str]:
+    """Split a LIKE literal into its 3-grams, as in Example 3.1.
+
+    Strings shorter than 3 characters yield the string itself, so very
+    short patterns still hit the (padded) gram statistics.
+    """
+    if len(text) < 3:
+        return [text] if text else []
+    return [text[i : i + 3] for i in range(len(text) - 2)]

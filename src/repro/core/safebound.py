@@ -1,0 +1,198 @@
+"""The SafeBound system facade (Sec 3.1).
+
+Offline: :meth:`SafeBound.build` computes compressed, predicate-conditioned
+degree sequences for every table.  Online: :meth:`SafeBound.bound` takes a
+query and returns a guaranteed upper bound on its output cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.database import Database
+from ..db.query import Query
+from .bound import FdsbEngine
+from .conditioning import ConditioningConfig
+from .piecewise import PiecewiseLinear, pointwise_min
+from .predicates import And, Eq, InList, Like, Or, Predicate, Range
+from .stats_builder import SafeBoundStats, build_statistics
+
+__all__ = ["SafeBound", "SafeBoundConfig"]
+
+
+@dataclass
+class SafeBoundConfig:
+    """Configuration of the full SafeBound system."""
+
+    conditioning: ConditioningConfig = field(default_factory=ConditioningConfig)
+    precompute_pk_joins: bool = True
+    build_trigrams: bool = True
+    max_spanning_trees: int = 64
+
+
+def _rewrite_predicate(
+    node: Predicate, column_map: dict[str, str], strict: bool = False
+) -> Predicate | None:
+    """Rewrite leaf columns through ``column_map``.
+
+    Returns None when the node cannot be rewritten soundly.  Conjunctions
+    may drop unrewritable children (conditioning on fewer predicates only
+    weakens the bound) unless ``strict`` — used when the rewritten
+    predicate *replaces* the original, as in PostgresPK's query rewrite —
+    in which case every child must rewrite.  Disjunctions must always
+    rewrite completely, because dropping a disjunct would *strengthen* the
+    predicate.
+    """
+    if isinstance(node, And):
+        parts = [_rewrite_predicate(c, column_map, strict) for c in node.children]
+        if strict and any(p is None for p in parts):
+            return None
+        parts = [p for p in parts if p is not None]
+        if not parts:
+            return None
+        return And(parts) if len(parts) > 1 else parts[0]
+    if isinstance(node, Or):
+        parts = [_rewrite_predicate(c, column_map, strict) for c in node.children]
+        if any(p is None for p in parts) or not parts:
+            return None
+        return Or(parts)
+    if isinstance(node, Eq):
+        col = column_map.get(node.column)
+        return Eq(col, node.value) if col else None
+    if isinstance(node, Range):
+        col = column_map.get(node.column)
+        if not col:
+            return None
+        return Range(col, node.low, node.high, node.low_inclusive, node.high_inclusive)
+    if isinstance(node, Like):
+        col = column_map.get(node.column)
+        return Like(col, node.pattern) if col else None
+    if isinstance(node, InList):
+        col = column_map.get(node.column)
+        return InList(col, node.values) if col else None
+    return None
+
+
+class SafeBound:
+    """The first practical system for generating cardinality bounds."""
+
+    name = "SafeBound"
+
+    def __init__(self, config: SafeBoundConfig | None = None) -> None:
+        self.config = config or SafeBoundConfig()
+        self.stats: SafeBoundStats | None = None
+        self._db: Database | None = None
+        self._engine = FdsbEngine(self.config.max_spanning_trees)
+        # (table, repr(effective predicate)) -> (conditioned CDS per join
+        # column, single-table bound).  The optimizer's DP estimates every
+        # connected subquery, and aliases repeat across subsets with the
+        # same predicate, so this cache carries most of the planning speed.
+        self._conditioning_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def build(self, db: Database) -> None:
+        """Compute and compress all degree-sequence statistics."""
+        self.stats = build_statistics(
+            db,
+            self.config.conditioning,
+            precompute_pk_joins=self.config.precompute_pk_joins,
+            build_trigrams=self.config.build_trigrams,
+        )
+        self._db = db
+        self._conditioning_cache = {}
+
+    def memory_bytes(self) -> int:
+        return self.stats.memory_bytes() if self.stats else 0
+
+    def num_sequences(self) -> int:
+        return self.stats.num_sequences() if self.stats else 0
+
+    @property
+    def build_seconds(self) -> float:
+        return self.stats.build_seconds if self.stats else 0.0
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+    def bound(self, query: Query) -> float:
+        """A guaranteed upper bound on the query's output cardinality."""
+        if self.stats is None:
+            raise RuntimeError("SafeBound.build(db) must run before bound()")
+        effective = self._effective_predicates(query)
+        column_cds: dict[tuple[str, str], PiecewiseLinear] = {}
+        alias_cardinality: dict[str, float] = {}
+        for alias, tname in query.relations.items():
+            rel = self.stats.relations[tname]
+            predicate = effective.get(alias)
+            cache_key = (tname, repr(predicate))
+            cached = self._conditioning_cache.get(cache_key)
+            if cached is None:
+                # Single-table bound: the min conditioned total over declared
+                # join columns (they all count the same filtered rows).
+                single_table = float(rel.cardinality)
+                conditioned: dict[str, PiecewiseLinear] = {}
+                for jcol, jstats in rel.join_stats.items():
+                    cds = jstats.condition(predicate)
+                    conditioned[jcol] = cds
+                    single_table = min(single_table, cds.total)
+                cached = (conditioned, single_table)
+                if len(self._conditioning_cache) < 50_000:
+                    self._conditioning_cache[cache_key] = cached
+            conditioned, single_table = cached
+            alias_cardinality[alias] = single_table
+            for col in query.join_columns_of(alias):
+                if col in conditioned:
+                    cds = conditioned[col]
+                elif col in rel.fallback_cds:
+                    # Undeclared join column (Sec 3.6): truncate its
+                    # unconditioned CDS to the single-table bound.
+                    cds = rel.fallback_cds[col]
+                else:
+                    cds = PiecewiseLinear.from_breakpoints(
+                        [(0.0, 0.0), (1.0, float(rel.cardinality))]
+                    )
+                column_cds[(alias, col)] = cds.truncate_total(single_table)
+        return self._engine.bound(query, column_cds, alias_cardinality)
+
+    # Alias so SafeBound satisfies the CardinalityEstimator protocol.
+    def estimate(self, query: Query) -> float:
+        return self.bound(query)
+
+    # ------------------------------------------------------------------
+    def _effective_predicates(self, query: Query) -> dict[str, Predicate]:
+        """Own predicates plus dimension predicates propagated over PK-FK
+        joins onto the fact side's virtual columns (Sec 4.2)."""
+        effective: dict[str, list[Predicate]] = {
+            alias: [p] for alias, p in query.predicates.items()
+        }
+        if not self.config.precompute_pk_joins:
+            return {a: _conjoin(ps) for a, ps in effective.items()}
+        for join in query.joins:
+            for fact_ref, dim_ref in ((join.left, join.right), (join.right, join.left)):
+                fact_table = query.relations[fact_ref.alias]
+                dim_table = query.relations[dim_ref.alias]
+                rel = self.stats.relations.get(fact_table)
+                if rel is None:
+                    continue
+                dim_pred = query.predicates.get(dim_ref.alias)
+                if dim_pred is None:
+                    continue
+                column_map = {
+                    dcol: vname
+                    for (fkcol, dtable, dpk, dcol), vname in rel.virtual_columns.items()
+                    if fkcol == fact_ref.column
+                    and dtable == dim_table
+                    and dpk == dim_ref.column
+                }
+                if not column_map:
+                    continue
+                rewritten = _rewrite_predicate(dim_pred, column_map)
+                if rewritten is not None:
+                    effective.setdefault(fact_ref.alias, []).append(rewritten)
+        return {a: _conjoin(ps) for a, ps in effective.items()}
+
+
+def _conjoin(predicates: list[Predicate]) -> Predicate:
+    return predicates[0] if len(predicates) == 1 else And(predicates)

@@ -1,0 +1,220 @@
+"""Saving and loading SafeBound statistics.
+
+The paper compares "the size of the stored statistics file on disk"
+(Sec 5, Metrics).  This module serialises a :class:`SafeBoundStats` store
+to a single ``.npz`` archive — every piecewise-linear function becomes two
+float arrays, Bloom filters become packed bit arrays, and the nesting
+structure goes into a JSON manifest.  No pickle, so archives are portable
+and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from .bloom import BloomFilter
+from .conditioning import (
+    EqualityStats,
+    FilterColumnStats,
+    HistogramStats,
+    JoinColumnStats,
+    TrigramStats,
+)
+from .piecewise import PiecewiseLinear
+from .stats_builder import RelationStats, SafeBoundStats
+
+__all__ = ["save_stats", "load_stats", "stats_file_bytes"]
+
+
+class _Archive:
+    """Accumulates named arrays plus a JSON manifest."""
+
+    def __init__(self) -> None:
+        self.arrays: dict[str, np.ndarray] = {}
+        self.counter = 0
+
+    def put_pl(self, func: PiecewiseLinear) -> str:
+        key = f"pl{self.counter}"
+        self.counter += 1
+        self.arrays[key + "_x"] = func.xs
+        self.arrays[key + "_y"] = func.ys
+        return key
+
+    def get_pl(self, key: str) -> PiecewiseLinear:
+        return PiecewiseLinear(self.arrays[key + "_x"], self.arrays[key + "_y"])
+
+    def put_bloom(self, bloom: BloomFilter) -> dict:
+        key = f"bf{self.counter}"
+        self.counter += 1
+        self.arrays[key] = np.packbits(bloom.bits)
+        return {
+            "bits": key,
+            "num_bits": bloom.num_bits,
+            "num_hashes": bloom.num_hashes,
+            "num_items": bloom.num_items,
+        }
+
+    def get_bloom(self, manifest: dict) -> BloomFilter:
+        bloom = BloomFilter.__new__(BloomFilter)
+        bloom.num_bits = manifest["num_bits"]
+        bloom.num_hashes = manifest["num_hashes"]
+        bloom.num_items = manifest["num_items"]
+        bloom.bits = np.unpackbits(self.arrays[manifest["bits"]])[: bloom.num_bits].astype(bool)
+        return bloom
+
+
+def _encode_value(value):
+    """JSON-safe encoding of an MCV key (str / float / None)."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+def _dump_equality(eq: EqualityStats, ar: _Archive) -> dict:
+    return {
+        "reps": [ar.put_pl(r) for r in eq.reps],
+        "default": ar.put_pl(eq.default_cds),
+        "values": (
+            None
+            if eq.value_to_group is None
+            else [[_encode_value(v), int(g)] for v, g in eq.value_to_group.items()]
+        ),
+        "blooms": None if eq.blooms is None else [ar.put_bloom(b) for b in eq.blooms],
+    }
+
+
+def _load_equality(manifest: dict, ar: _Archive) -> EqualityStats:
+    return EqualityStats(
+        reps=[ar.get_pl(k) for k in manifest["reps"]],
+        default_cds=ar.get_pl(manifest["default"]),
+        value_to_group=(
+            None
+            if manifest["values"] is None
+            else {v: g for v, g in manifest["values"]}
+        ),
+        blooms=(
+            None
+            if manifest["blooms"] is None
+            else [ar.get_bloom(b) for b in manifest["blooms"]]
+        ),
+    )
+
+
+def _dump_histogram(hist: HistogramStats, ar: _Archive) -> dict:
+    key = f"hb{ar.counter}"
+    ar.counter += 1
+    ar.arrays[key] = hist.boundaries
+    return {
+        "boundaries": key,
+        "levels": hist.levels,
+        "reps": [ar.put_pl(r) for r in hist.reps],
+        "buckets": [[lvl, b, g] for (lvl, b), g in hist.bucket_group.items()],
+        "base": ar.put_pl(hist.base),
+    }
+
+
+def _load_histogram(manifest: dict, ar: _Archive) -> HistogramStats:
+    return HistogramStats(
+        boundaries=ar.arrays[manifest["boundaries"]],
+        levels=manifest["levels"],
+        reps=[ar.get_pl(k) for k in manifest["reps"]],
+        bucket_group={(lvl, b): g for lvl, b, g in manifest["buckets"]},
+        base=ar.get_pl(manifest["base"]),
+    )
+
+
+def _dump_trigram(tri: TrigramStats, ar: _Archive) -> dict:
+    return {
+        "reps": [ar.put_pl(r) for r in tri.reps],
+        "grams": [[g, int(i)] for g, i in tri.gram_to_group.items()],
+        "no_common": ar.put_pl(tri.no_common_gram_cds),
+        "base": ar.put_pl(tri.base),
+    }
+
+
+def _load_trigram(manifest: dict, ar: _Archive) -> TrigramStats:
+    return TrigramStats(
+        reps=[ar.get_pl(k) for k in manifest["reps"]],
+        gram_to_group={g: i for g, i in manifest["grams"]},
+        no_common_gram_cds=ar.get_pl(manifest["no_common"]),
+        base=ar.get_pl(manifest["base"]),
+    )
+
+
+def save_stats(stats: SafeBoundStats, path: str) -> int:
+    """Serialise the statistics store; returns the file size in bytes."""
+    ar = _Archive()
+    manifest: dict = {"build_seconds": stats.build_seconds, "relations": {}}
+    for name, rel in stats.relations.items():
+        rel_manifest = {
+            "cardinality": rel.cardinality,
+            "fallback": {c: ar.put_pl(f) for c, f in rel.fallback_cds.items()},
+            "virtual": [[list(k), v] for k, v in rel.virtual_columns.items()],
+            "join_stats": {},
+        }
+        for col, js in rel.join_stats.items():
+            filters = {}
+            for fcol, fstats in js.filters.items():
+                filters[fcol] = {
+                    "eq": None if fstats.equality is None else _dump_equality(fstats.equality, ar),
+                    "hist": None if fstats.histogram is None else _dump_histogram(fstats.histogram, ar),
+                    "tri": None if fstats.trigram is None else _dump_trigram(fstats.trigram, ar),
+                }
+            rel_manifest["join_stats"][col] = {
+                "base": ar.put_pl(js.base),
+                "like_mode": js.like_default_mode,
+                "filters": filters,
+            }
+        manifest["relations"][name] = rel_manifest
+    ar.arrays["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8
+    ).copy()
+    np.savez_compressed(path, **ar.arrays)
+    real_path = path if path.endswith(".npz") else path + ".npz"
+    return os.path.getsize(real_path)
+
+
+def load_stats(path: str) -> SafeBoundStats:
+    """Load a statistics store previously written by :func:`save_stats`."""
+    with np.load(path) as data:
+        ar = _Archive()
+        ar.arrays = {k: data[k] for k in data.files}
+    manifest = json.loads(bytes(ar.arrays["__manifest__"]).decode())
+    stats = SafeBoundStats(build_seconds=manifest["build_seconds"])
+    for name, rel_manifest in manifest["relations"].items():
+        rel = RelationStats(name, rel_manifest["cardinality"])
+        rel.fallback_cds = {
+            c: ar.get_pl(k) for c, k in rel_manifest["fallback"].items()
+        }
+        rel.virtual_columns = {
+            tuple(k): v for k, v in rel_manifest["virtual"]
+        }
+        for col, js_manifest in rel_manifest["join_stats"].items():
+            js = JoinColumnStats(
+                column=col,
+                base=ar.get_pl(js_manifest["base"]),
+                like_default_mode=js_manifest["like_mode"],
+            )
+            for fcol, f_manifest in js_manifest["filters"].items():
+                fstats = FilterColumnStats()
+                if f_manifest["eq"] is not None:
+                    fstats.equality = _load_equality(f_manifest["eq"], ar)
+                if f_manifest["hist"] is not None:
+                    fstats.histogram = _load_histogram(f_manifest["hist"], ar)
+                if f_manifest["tri"] is not None:
+                    fstats.trigram = _load_trigram(f_manifest["tri"], ar)
+                js.filters[fcol] = fstats
+            rel.join_stats[col] = js
+        stats.relations[name] = rel
+    return stats
+
+
+def stats_file_bytes(stats: SafeBoundStats) -> int:
+    """On-disk size of the statistics (the paper's Fig 8a metric)."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        return save_stats(stats, os.path.join(tmp, "stats.npz"))

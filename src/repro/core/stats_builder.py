@@ -1,0 +1,153 @@
+"""Offline phase of SafeBound: build all statistics for a database.
+
+For every table, builds a :class:`JoinColumnStats` per declared join column
+(conditioned on every filter column), plus one *unconditioned* compressed
+CDS per column as the fallback for undeclared join columns (Sec 3.6).
+
+Implements the PK-FK pre-computation of Sec 4.2: for every foreign key
+``fact.fk -> dim.pk`` we materialise *virtual* filter columns on the fact
+table — the dimension's filter columns pulled across the join — and build
+conditioned statistics on them.  At query time, predicates on the dimension
+are rewritten onto these virtual columns, sidestepping the worst-case
+cross-join correlation assumption.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..db.database import Database
+from .compression import valid_compress
+from .conditioning import ConditioningConfig, JoinColumnStats, build_join_column_stats
+from .degree_sequence import DegreeSequence
+from .piecewise import PiecewiseLinear
+
+__all__ = ["RelationStats", "SafeBoundStats", "build_statistics", "virtual_column_name"]
+
+
+def virtual_column_name(fk_column: str, dim_table: str, dim_column: str) -> str:
+    """Name of the virtual filter column propagated across a PK-FK join."""
+    return f"{fk_column}=>{dim_table}.{dim_column}"
+
+
+def _pull_dimension_column(
+    fk_values: np.ndarray, pk_values: np.ndarray, dim_values: np.ndarray
+) -> np.ndarray:
+    """``dim_values`` aligned to the fact rows via ``fk -> pk`` lookup.
+
+    Dangling foreign keys map to ``None`` / ``nan`` so no predicate ever
+    matches them.
+    """
+    order = np.argsort(pk_values, kind="stable")
+    sorted_pk = pk_values[order]
+    idx = np.searchsorted(sorted_pk, fk_values, side="left")
+    idx_clipped = np.clip(idx, 0, len(sorted_pk) - 1)
+    hit = sorted_pk[idx_clipped] == fk_values
+    source = dim_values[order][idx_clipped]
+    if dim_values.dtype == object:
+        out = np.array(
+            [v if h else None for v, h in zip(source.tolist(), hit.tolist())],
+            dtype=object,
+        )
+    else:
+        out = np.where(hit, source.astype(float), np.nan)
+    return out
+
+
+@dataclass
+class RelationStats:
+    """All SafeBound statistics of one table."""
+
+    table: str
+    cardinality: int
+    join_stats: dict[str, JoinColumnStats] = field(default_factory=dict)
+    fallback_cds: dict[str, PiecewiseLinear] = field(default_factory=dict)
+    # (fk_column, dim_table, dim_pk_column, dim_filter_column) -> virtual name
+    virtual_columns: dict[tuple[str, str, str, str], str] = field(default_factory=dict)
+
+    def memory_bytes(self) -> int:
+        total = sum(js.memory_bytes() for js in self.join_stats.values())
+        total += sum(16 * len(f.xs) for f in self.fallback_cds.values())
+        return total
+
+    def num_sequences(self) -> int:
+        return sum(js.num_sequences() for js in self.join_stats.values()) + len(
+            self.fallback_cds
+        )
+
+
+@dataclass
+class SafeBoundStats:
+    """The complete statistics store produced by the offline phase."""
+
+    relations: dict[str, RelationStats] = field(default_factory=dict)
+    build_seconds: float = 0.0
+
+    def memory_bytes(self) -> int:
+        return sum(r.memory_bytes() for r in self.relations.values())
+
+    def num_sequences(self) -> int:
+        return sum(r.num_sequences() for r in self.relations.values())
+
+
+def build_statistics(
+    db: Database,
+    config: ConditioningConfig | None = None,
+    precompute_pk_joins: bool = True,
+    build_trigrams: bool = True,
+) -> SafeBoundStats:
+    """Run SafeBound's offline phase over every table of the database."""
+    config = config or ConditioningConfig()
+    started = time.perf_counter()
+    stats = SafeBoundStats()
+    for name, tschema in db.schema.tables.items():
+        if name not in db:
+            continue
+        table = db.table(name)
+        rel = RelationStats(name, table.num_rows)
+
+        filter_columns: dict[str, np.ndarray] = {}
+        for fcol in tschema.filter_columns:
+            values = table.column(fcol)
+            if values.dtype == object and not build_trigrams:
+                # Scalability ablation (Fig 10): keep equality stats only by
+                # replacing strings with their hash codes.
+                values = np.array([hash(v) for v in values.tolist()])
+            filter_columns[fcol] = values
+
+        if precompute_pk_joins:
+            for fk in db.schema.foreign_keys_of(name):
+                if fk.ref_table not in db:
+                    continue
+                dim_schema = db.schema.tables.get(fk.ref_table)
+                dim_table = db.table(fk.ref_table)
+                if dim_schema is None:
+                    continue
+                for dcol in dim_schema.filter_columns:
+                    vname = virtual_column_name(fk.column, fk.ref_table, dcol)
+                    values = _pull_dimension_column(
+                        table.column(fk.column),
+                        dim_table.column(fk.ref_column),
+                        dim_table.column(dcol),
+                    )
+                    if values.dtype == object and not build_trigrams:
+                        values = np.array([hash(v) for v in values.tolist()])
+                    filter_columns[vname] = values
+                    rel.virtual_columns[(fk.column, fk.ref_table, fk.ref_column, dcol)] = vname
+
+        for jcol in tschema.join_columns:
+            rel.join_stats[jcol] = build_join_column_stats(
+                jcol, table.column(jcol), filter_columns, config
+            )
+
+        # One unconditioned CDS per column: the undeclared-join fallback.
+        for col in table.column_names:
+            ds = DegreeSequence.from_column(table.column(col))
+            rel.fallback_cds[col] = valid_compress(ds, config.compression_accuracy)
+
+        stats.relations[name] = rel
+    stats.build_seconds = time.perf_counter() - started
+    return stats

@@ -1,0 +1,159 @@
+"""Incremental maintenance of degree-sequence statistics.
+
+The paper leaves updates as future work (Sec 6, "Handling Updates"),
+observing that a degree sequence is essentially a group-by/count/order-by
+query amenable to incremental view maintenance.  This module implements
+that observation:
+
+* :class:`FrequencyCounter` maintains the value -> frequency map of a
+  column under inserts and deletes, and rebuilds the (run-length) degree
+  sequence on demand in O(distinct) time;
+* :class:`IncrementalColumnStats` wraps a counter with a *staleness bound*:
+  between recompressions, the stored compressed CDS is kept valid by
+  padding — every insert can only raise the CDS by one tuple at every rank,
+  so ``F_compressed + inserted_count`` remains a dominating CDS (deletes
+  can only shrink the true CDS, so they need no padding at all, only a
+  cardinality adjustment *upward* being avoided);
+* :meth:`IncrementalColumnStats.maybe_recompress` re-runs ValidCompress
+  when the padding overhead exceeds a threshold.
+
+This maintains the never-underestimate guarantee at all times while
+keeping update cost O(1) amortised per row.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from .compression import valid_compress
+from .degree_sequence import DegreeSequence
+from .piecewise import PiecewiseLinear
+
+__all__ = ["FrequencyCounter", "IncrementalColumnStats"]
+
+
+class FrequencyCounter:
+    """Maintains per-value frequencies of a column under inserts/deletes."""
+
+    def __init__(self, values: np.ndarray | None = None) -> None:
+        self.counts: Counter = Counter()
+        if values is not None and len(values):
+            self.counts.update(values.tolist())
+
+    # ------------------------------------------------------------------
+    def insert(self, values) -> None:
+        self.counts.update(np.asarray(values).tolist())
+
+    def delete(self, values) -> None:
+        for v in np.asarray(values).tolist():
+            current = self.counts.get(v, 0)
+            if current <= 0:
+                raise KeyError(f"delete of absent value {v!r}")
+            if current == 1:
+                del self.counts[v]
+            else:
+                self.counts[v] = current - 1
+
+    # ------------------------------------------------------------------
+    @property
+    def cardinality(self) -> int:
+        return int(sum(self.counts.values()))
+
+    @property
+    def num_distinct(self) -> int:
+        return len(self.counts)
+
+    def degree_sequence(self) -> DegreeSequence:
+        freqs = np.fromiter(self.counts.values(), dtype=np.int64, count=len(self.counts))
+        return DegreeSequence.from_frequencies(freqs)
+
+
+class IncrementalColumnStats:
+    """A compressed CDS kept *valid* across updates without recompression.
+
+    Invariant: :attr:`cds` dominates the true CDS of the maintained column
+    at every moment.  After ``k`` inserts since the last compression, the
+    stored CDS is the compressed one shifted up by ``k`` (a step of +1 per
+    inserted tuple is the worst case: the new tuple's value lands at rank
+    1).  Deletes never invalidate domination, so they are free until the
+    next recompression tightens the bound back down.
+    """
+
+    def __init__(self, values: np.ndarray, accuracy: float = 0.01, slack: float = 0.1) -> None:
+        self.accuracy = accuracy
+        self.slack = slack
+        self.counter = FrequencyCounter(values)
+        self._compressed = valid_compress(self.counter.degree_sequence(), accuracy)
+        self._inserts_since_compress = 0
+        self._deletes_since_compress = 0
+        self.recompressions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cds(self) -> PiecewiseLinear:
+        """The current valid (dominating) CDS.
+
+        After ``k`` inserts, the true CDS can exceed the old one by at most
+        ``k`` at every rank >= 1, by ``x * k`` below rank 1, and the domain
+        can gain at most ``k`` new distinct values.  The padded CDS below
+        encodes exactly that: a steep head segment up to rank
+        ``t = min(1, old domain)`` reaching ``F_old(t) + k``, the old
+        breakpoints shifted up by ``k``, and a tail extending the domain by
+        ``k`` at total ``|R|_old + k``.
+        """
+        pad = float(self._inserts_since_compress)
+        if pad == 0.0:
+            return self._compressed
+        base = self._compressed
+        from .piecewise import concave_envelope
+
+        d = base.domain_end
+        if d <= 0:
+            # Everything was inserted since the last (empty) compression:
+            # worst case is one value holding all `pad` tuples (slope `pad`
+            # over the first rank), with up to `pad` distinct values total.
+            return PiecewiseLinear(
+                np.array([0.0, 1.0, max(pad, 1.0)]), np.array([0.0, pad, pad])
+            )
+        t = min(1.0, d)
+        head_x = [0.0, t]
+        head_y = [0.0, float(base(t)) + pad]
+        body = base.xs > t + 1e-12
+        xs = np.concatenate((head_x, base.xs[body], [d + pad]))
+        ys = np.concatenate((head_y, base.ys[body] + pad, [base.total + pad]))
+        return concave_envelope(PiecewiseLinear(xs, ys))
+
+    @property
+    def padding_overhead(self) -> float:
+        """Relative cardinality overhead of the current padding."""
+        true_card = self.counter.cardinality
+        return (self.cds.total - true_card) / max(true_card, 1)
+
+    # ------------------------------------------------------------------
+    def insert(self, values) -> None:
+        values = np.asarray(values)
+        self.counter.insert(values)
+        self._inserts_since_compress += len(values)
+        self.maybe_recompress()
+
+    def delete(self, values) -> None:
+        values = np.asarray(values)
+        self.counter.delete(values)
+        self._deletes_since_compress += len(values)
+        self.maybe_recompress()
+
+    def maybe_recompress(self) -> bool:
+        """Recompress when padding or delete drift exceeds the slack."""
+        drift = self._inserts_since_compress + self._deletes_since_compress
+        if drift <= self.slack * max(self.counter.cardinality, 1):
+            return False
+        self.recompress()
+        return True
+
+    def recompress(self) -> None:
+        self._compressed = valid_compress(self.counter.degree_sequence(), self.accuracy)
+        self._inserts_since_compress = 0
+        self._deletes_since_compress = 0
+        self.recompressions += 1

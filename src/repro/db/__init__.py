@@ -1,0 +1,23 @@
+"""In-memory relational substrate: tables, schema, queries, executor."""
+
+from .database import Database
+from .executor import CardinalityOverflow, Executor
+from .query import ColumnRef, Join, Query
+from .schema import ForeignKey, Schema, TableSchema
+from .sql import SqlParseError, parse_sql
+from .table import Table
+
+__all__ = [
+    "Database",
+    "Executor",
+    "CardinalityOverflow",
+    "Query",
+    "Join",
+    "ColumnRef",
+    "Schema",
+    "TableSchema",
+    "ForeignKey",
+    "Table",
+    "parse_sql",
+    "SqlParseError",
+]

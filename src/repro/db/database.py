@@ -1,0 +1,40 @@
+"""The database object: tables + schema."""
+
+from __future__ import annotations
+
+from .schema import Schema
+from .table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory database instance."""
+
+    def __init__(self, schema: Schema | None = None) -> None:
+        self.schema = schema or Schema()
+        self.tables: dict[str, Table] = {}
+
+    def add_table(self, table: Table) -> None:
+        if table.name not in self.schema.tables:
+            raise KeyError(f"no schema declared for table {table.name!r}")
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        return self.tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def table_names(self) -> list[str]:
+        return list(self.tables)
+
+    def total_rows(self) -> int:
+        return sum(t.num_rows for t in self.tables.values())
+
+    def memory_bytes(self) -> int:
+        return sum(t.memory_bytes() for t in self.tables.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{t.num_rows}" for n, t in self.tables.items())
+        return f"Database({parts})"

@@ -1,0 +1,186 @@
+"""Query model: full conjunctive queries with equi-joins and predicates.
+
+A query is a bag-semantics ``SELECT *`` over aliased relations, a set of
+single-column equi-join conditions, and one predicate tree per alias
+(Sec 2.1 of the paper).  Join *variables* are equivalence classes of
+``alias.column`` pairs under the join conditions; the relation/variable
+incidence graph decides Berge-acyclicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..core.predicates import Predicate
+
+__all__ = ["ColumnRef", "Join", "Query"]
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A column of an aliased relation, e.g. ``t.production_year``."""
+
+    alias: str
+    column: str
+
+    def __repr__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Join:
+    """An equi-join condition ``left = right``."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict = {}
+
+    def find(self, x):
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+@dataclass
+class Query:
+    """A conjunctive query.
+
+    ``relations`` maps alias -> table name; ``joins`` is the equi-join list;
+    ``predicates`` maps alias -> predicate tree (missing alias = no filter).
+    """
+
+    relations: dict[str, str] = field(default_factory=dict)
+    joins: list[Join] = field(default_factory=list)
+    predicates: dict[str, Predicate] = field(default_factory=dict)
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_relation(self, alias: str, table: str) -> "Query":
+        self.relations[alias] = table
+        return self
+
+    def add_join(self, a_alias: str, a_col: str, b_alias: str, b_col: str) -> "Query":
+        self.joins.append(Join(ColumnRef(a_alias, a_col), ColumnRef(b_alias, b_col)))
+        return self
+
+    def add_predicate(self, alias: str, predicate: Predicate) -> "Query":
+        self.predicates[alias] = predicate
+        return self
+
+    # ------------------------------------------------------------------
+    # Structure analysis
+    # ------------------------------------------------------------------
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    def variables(self) -> list[frozenset[ColumnRef]]:
+        """Join variables: the equivalence classes of joined column refs."""
+        uf = _UnionFind()
+        for j in self.joins:
+            uf.union(j.left, j.right)
+        groups: dict = {}
+        for j in self.joins:
+            for ref in (j.left, j.right):
+                groups.setdefault(uf.find(ref), set()).add(ref)
+        return [frozenset(g) for g in sorted(groups.values(), key=lambda g: sorted(g))]
+
+    def join_columns_of(self, alias: str) -> set[str]:
+        """Columns of ``alias`` used in any join of this query."""
+        out = set()
+        for j in self.joins:
+            for ref in (j.left, j.right):
+                if ref.alias == alias:
+                    out.add(ref.column)
+        return out
+
+    def incidence_graph(self) -> nx.MultiGraph:
+        """Bipartite relation/variable incidence multigraph.
+
+        Nodes are ``("rel", alias)`` and ``("var", index)``; one edge per
+        (alias, column) participation.  The query is Berge-acyclic iff this
+        graph is a forest.
+        """
+        g = nx.MultiGraph()
+        for alias in self.relations:
+            g.add_node(("rel", alias))
+        for i, var in enumerate(self.variables()):
+            g.add_node(("var", i))
+            for ref in sorted(var):
+                g.add_edge(("rel", ref.alias), ("var", i), column=ref.column)
+        return g
+
+    def is_berge_acyclic(self) -> bool:
+        g = self.incidence_graph()
+        if g.number_of_nodes() == 0:
+            return True
+        return g.number_of_edges() == g.number_of_nodes() - nx.number_connected_components(g)
+
+    def join_graph(self) -> nx.Graph:
+        """Relation-level join graph (edges between aliases sharing a join)."""
+        g = nx.Graph()
+        g.add_nodes_from(self.relations)
+        for j in self.joins:
+            if j.left.alias != j.right.alias:
+                g.add_edge(j.left.alias, j.right.alias)
+        return g
+
+    def is_connected(self) -> bool:
+        g = self.join_graph()
+        return g.number_of_nodes() <= 1 or nx.is_connected(g)
+
+    # ------------------------------------------------------------------
+    # Subqueries
+    # ------------------------------------------------------------------
+    def induced_subquery(self, aliases) -> "Query":
+        """The subquery over a subset of aliases (joins within the subset)."""
+        aliases = set(aliases)
+        return Query(
+            relations={a: t for a, t in self.relations.items() if a in aliases},
+            joins=[
+                j
+                for j in self.joins
+                if j.left.alias in aliases and j.right.alias in aliases
+            ],
+            predicates={a: p for a, p in self.predicates.items() if a in aliases},
+        )
+
+    def cache_key(self) -> tuple:
+        """A hashable identity for memoising estimates of this query."""
+        rels = tuple(sorted(self.relations.items()))
+        joins = tuple(
+            sorted(
+                (min(j.left, j.right), max(j.left, j.right)) for j in self.joins
+            )
+        )
+        preds = tuple(sorted((a, repr(p)) for a, p in self.predicates.items()))
+        return (rels, joins, preds)
+
+    def __repr__(self) -> str:
+        rels = ", ".join(f"{t} {a}" for a, t in sorted(self.relations.items()))
+        joins = " AND ".join(repr(j) for j in self.joins)
+        preds = " AND ".join(
+            f"{a}:{p!r}" for a, p in sorted(self.predicates.items())
+        )
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}FROM {rels} WHERE {joins}" + (f" AND {preds}" if preds else "")

@@ -1,0 +1,85 @@
+"""Schema metadata: join-able columns and PK-FK relationships.
+
+SafeBound's offline phase needs to know which columns are keys and foreign
+keys ("declared join columns", Sec 3.1) and which PK-FK edges exist (for
+the pre-computed PK join optimization, Sec 4.2).  The optimizer also reads
+the schema to know which indexes exist (Fig 9a study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ForeignKey", "TableSchema", "Schema"]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``table.column`` references ``ref_table.ref_column`` (a primary key)."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __repr__(self) -> str:
+        return f"{self.table}.{self.column} -> {self.ref_table}.{self.ref_column}"
+
+
+@dataclass
+class TableSchema:
+    """Per-table metadata.
+
+    ``join_columns`` is the declared join-column set (keys + foreign keys);
+    ``filter_columns`` are the columns predicates may touch.  Any column not
+    listed can still be joined on via the undeclared-column fallback
+    (Sec 3.6).
+    """
+
+    name: str
+    primary_key: str | None = None
+    join_columns: list[str] = field(default_factory=list)
+    filter_columns: list[str] = field(default_factory=list)
+
+
+@dataclass
+class Schema:
+    """A database schema: table schemas plus foreign-key edges."""
+
+    tables: dict[str, TableSchema] = field(default_factory=dict)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def add_table(
+        self,
+        name: str,
+        primary_key: str | None = None,
+        join_columns: list[str] | None = None,
+        filter_columns: list[str] | None = None,
+    ) -> TableSchema:
+        join_columns = list(join_columns or [])
+        if primary_key and primary_key not in join_columns:
+            join_columns.insert(0, primary_key)
+        ts = TableSchema(name, primary_key, join_columns, list(filter_columns or []))
+        self.tables[name] = ts
+        return ts
+
+    def add_foreign_key(
+        self, table: str, column: str, ref_table: str, ref_column: str
+    ) -> ForeignKey:
+        fk = ForeignKey(table, column, ref_table, ref_column)
+        self.foreign_keys.append(fk)
+        ts = self.tables.get(table)
+        if ts is not None and column not in ts.join_columns:
+            ts.join_columns.append(column)
+        return fk
+
+    def foreign_keys_of(self, table: str) -> list[ForeignKey]:
+        return [fk for fk in self.foreign_keys if fk.table == table]
+
+    def is_primary_key(self, table: str, column: str) -> bool:
+        ts = self.tables.get(table)
+        return ts is not None and ts.primary_key == column
+
+    def is_join_column(self, table: str, column: str) -> bool:
+        ts = self.tables.get(table)
+        return ts is not None and column in ts.join_columns

@@ -1,0 +1,261 @@
+"""A small SQL front-end for the query model.
+
+Parses the fragment the paper's benchmarks are written in — full
+conjunctive ``SELECT *`` queries with equi-joins and the five supported
+predicate classes:
+
+    SELECT * FROM title t, cast_info ci, movie_keyword mk
+    WHERE ci.movie_id = t.id AND mk.movie_id = t.id
+      AND t.production_year >= 1990 AND t.production_year <= 2005
+      AND t.kind_id = 4
+      AND t.phonetic_code LIKE '%A12%'
+      AND ci.role_id IN (1, 2)
+      AND (t.season_nr = 1 OR t.season_nr = 2)
+
+Supported WHERE syntax: ``=``, ``<``, ``<=``, ``>``, ``>=``, ``BETWEEN x
+AND y``, ``LIKE '%text%'``, ``IN (v, ...)``, ``AND``, ``OR`` and
+parentheses.  Every comparison must reference exactly one aliased column
+(``alias.column``); ``a.x = b.y`` between two aliases is an equi-join.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.predicates import And, Eq, InList, Like, Or, Predicate, Range
+from .query import Query
+
+__all__ = ["parse_sql", "SqlParseError"]
+
+
+class SqlParseError(ValueError):
+    """Raised for SQL the fragment does not cover."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'          # string literal
+      | -?\d+\.\d+              # float
+      | -?\d+                   # int
+      | [A-Za-z_][\w]*\.[A-Za-z_][\w]*   # alias.column
+      | [A-Za-z_][\w]*          # identifier / keyword
+      | <= | >= | <> | !=
+      | [(),=<>*;]
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "or", "in", "like", "between", "not", "as",
+}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise SqlParseError(f"cannot tokenize near: {text[pos:pos + 25]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SqlParseError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token.lower() != expected.lower():
+            raise SqlParseError(f"expected {expected!r}, got {token!r}")
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token is not None and token.lower() == word
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Query:
+        self.expect("select")
+        self.expect("*")
+        self.expect("from")
+        query = Query()
+        self._parse_from(query)
+        if self.at_keyword("where"):
+            self.next()
+            predicate_tree = self._parse_or(query)
+            self._distribute(query, predicate_tree)
+        if self.peek() == ";":
+            self.next()
+        if self.peek() is not None:
+            raise SqlParseError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return query
+
+    def _parse_from(self, query: Query) -> None:
+        while True:
+            table = self.next()
+            if table.lower() in _KEYWORDS or not table.isidentifier():
+                raise SqlParseError(f"bad table name {table!r}")
+            alias = table
+            token = self.peek()
+            if token is not None and token.lower() == "as":
+                self.next()
+                alias = self.next()
+            elif token is not None and token.isidentifier() and token.lower() not in _KEYWORDS:
+                alias = self.next()
+            query.add_relation(alias, table)
+            if self.peek() == ",":
+                self.next()
+                continue
+            break
+
+    # predicate grammar: or_expr := and_expr (OR and_expr)*
+    def _parse_or(self, query: Query):
+        parts = [self._parse_and(query)]
+        while self.at_keyword("or"):
+            self.next()
+            parts.append(self._parse_and(query))
+        return ("or", parts) if len(parts) > 1 else parts[0]
+
+    def _parse_and(self, query: Query):
+        parts = [self._parse_atom(query)]
+        while self.at_keyword("and"):
+            self.next()
+            parts.append(self._parse_atom(query))
+        return ("and", parts) if len(parts) > 1 else parts[0]
+
+    def _parse_atom(self, query: Query):
+        if self.peek() == "(":
+            self.next()
+            inner = self._parse_or(query)
+            self.expect(")")
+            return inner
+        left = self.next()
+        if "." not in left:
+            raise SqlParseError(f"expected alias.column, got {left!r}")
+        alias, column = left.split(".", 1)
+        op_token = self.next().lower()
+        if op_token == "between":
+            low = self._literal(self.next())
+            self.expect("and")
+            high = self._literal(self.next())
+            return ("pred", alias, Range(column, low=low, high=high))
+        if op_token == "like":
+            pattern = self._string(self.next())
+            return ("pred", alias, Like(column, pattern.strip("%")))
+        if op_token == "in":
+            self.expect("(")
+            values = [self._literal(self.next())]
+            while self.peek() == ",":
+                self.next()
+                values.append(self._literal(self.next()))
+            self.expect(")")
+            return ("pred", alias, InList(column, values))
+        if op_token in ("=", "<", "<=", ">", ">="):
+            right = self.next()
+            if "." in right and not self._is_number(right):
+                # equi-join between two aliased columns
+                if op_token != "=":
+                    raise SqlParseError("only equality joins are supported")
+                r_alias, r_column = right.split(".", 1)
+                return ("join", alias, column, r_alias, r_column)
+            value = self._literal(right)
+            if op_token == "=":
+                return ("pred", alias, Eq(column, value))
+            if op_token == "<":
+                return ("pred", alias, Range(column, high=value, high_inclusive=False))
+            if op_token == "<=":
+                return ("pred", alias, Range(column, high=value))
+            if op_token == ">":
+                return ("pred", alias, Range(column, low=value, low_inclusive=False))
+            return ("pred", alias, Range(column, low=value))
+        raise SqlParseError(f"unsupported operator {op_token!r}")
+
+    # -- literal handling --------------------------------------------------
+    @staticmethod
+    def _is_number(token: str) -> bool:
+        try:
+            float(token)
+            return True
+        except ValueError:
+            return False
+
+    def _literal(self, token: str):
+        if token.startswith("'"):
+            return self._string(token)
+        if re.fullmatch(r"-?\d+", token):
+            return int(token)
+        if self._is_number(token):
+            return float(token)
+        raise SqlParseError(f"bad literal {token!r}")
+
+    @staticmethod
+    def _string(token: str) -> str:
+        if not (token.startswith("'") and token.endswith("'")):
+            raise SqlParseError(f"expected string literal, got {token!r}")
+        return token[1:-1].replace("''", "'")
+
+    # -- assembling the query ----------------------------------------------
+    def _distribute(self, query: Query, tree) -> None:
+        """Attach joins and per-alias predicates from the parsed tree.
+
+        Joins may only appear at the top-level conjunction; predicate
+        subtrees must reference a single alias (the paper's per-relation
+        predicate model, Sec 2.1).
+        """
+        conjuncts = tree[1] if isinstance(tree, tuple) and tree[0] == "and" else [tree]
+        per_alias: dict[str, list[Predicate]] = {}
+        for node in conjuncts:
+            if node[0] == "join":
+                _, a, ca, b, cb = node
+                for x in (a, b):
+                    if x not in query.relations:
+                        raise SqlParseError(f"unknown alias {x!r} in join")
+                query.add_join(a, ca, b, cb)
+            else:
+                alias, predicate = self._to_predicate(query, node)
+                per_alias.setdefault(alias, []).append(predicate)
+        for alias, preds in per_alias.items():
+            query.add_predicate(alias, preds[0] if len(preds) == 1 else And(preds))
+
+    def _to_predicate(self, query: Query, node) -> tuple[str, Predicate]:
+        if node[0] == "pred":
+            _, alias, predicate = node
+            if alias not in query.relations:
+                raise SqlParseError(f"unknown alias {alias!r}")
+            return alias, predicate
+        if node[0] == "join":
+            raise SqlParseError("joins may not appear under OR or nested parentheses")
+        kind, children = node
+        parts = [self._to_predicate(query, c) for c in children]
+        aliases = {a for a, _ in parts}
+        if len(aliases) != 1:
+            raise SqlParseError(
+                "predicate subtrees must reference a single relation "
+                f"(got aliases {sorted(aliases)})"
+            )
+        alias = aliases.pop()
+        preds = [p for _, p in parts]
+        return alias, (And(preds) if kind == "and" else Or(preds))
+
+
+def parse_sql(text: str) -> Query:
+    """Parse a conjunctive ``SELECT *`` query into a :class:`Query`."""
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,83 @@
+"""Column-store table: the storage layer of the relational substrate.
+
+A :class:`Table` holds named numpy columns of equal length.  Numeric
+columns use int64/float64 arrays; string columns use object arrays.  All
+filtering and projection is vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.predicates import Predicate
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable-by-convention column-store table."""
+
+    def __init__(self, name: str, columns: dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise ValueError(f"table {name!r} needs at least one column")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"table {name!r} columns have differing lengths: {lengths}")
+        self.name = name
+        self.columns: dict[str, np.ndarray] = {
+            k: np.asarray(v) for k, v in columns.items()
+        }
+        self.num_rows = lengths.pop()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={list(self.columns)})"
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def is_string_column(self, name: str) -> bool:
+        return self.columns[name].dtype == object
+
+    # ------------------------------------------------------------------
+    def filter_mask(self, predicate: Predicate | None) -> np.ndarray:
+        """Boolean row mask for a predicate (all-true for ``None``)."""
+        if predicate is None:
+            return np.ones(self.num_rows, dtype=bool)
+        return predicate.evaluate(self.columns)
+
+    def filter(self, predicate: Predicate | None) -> "Table":
+        """A new table holding only the rows matching ``predicate``."""
+        if predicate is None:
+            return self
+        mask = self.filter_mask(predicate)
+        return Table(self.name, {k: v[mask] for k, v in self.columns.items()})
+
+    def select(self, names: list[str]) -> "Table":
+        return Table(self.name, {n: self.columns[n] for n in names})
+
+    def take(self, row_indices: np.ndarray) -> "Table":
+        return Table(self.name, {k: v[row_indices] for k, v in self.columns.items()})
+
+    def sample_rows(self, n: int, rng: np.random.Generator) -> "Table":
+        if n >= self.num_rows:
+            return self
+        idx = rng.choice(self.num_rows, size=n, replace=False)
+        return self.take(idx)
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of the column data."""
+        total = 0
+        for arr in self.columns.values():
+            if arr.dtype == object:
+                total += sum(len(str(v)) for v in arr.tolist()) + 8 * len(arr)
+            else:
+                total += arr.nbytes
+        return total

@@ -1,0 +1,22 @@
+"""Cardinality estimators compared in the paper's evaluation (Sec 5)."""
+
+from .base import CardinalityEstimator, UnsupportedQueryError
+from .bayescard import BayesCardEstimator
+from .neurocard import NeuroCardEstimator
+from .pessest import PessEstEstimator
+from .postgres import Postgres2DEstimator, PostgresEstimator, PostgresPKEstimator
+from .simplicity import SimplicityEstimator
+from .truth import TrueCardinalityEstimator
+
+__all__ = [
+    "CardinalityEstimator",
+    "UnsupportedQueryError",
+    "TrueCardinalityEstimator",
+    "PostgresEstimator",
+    "Postgres2DEstimator",
+    "PostgresPKEstimator",
+    "PessEstEstimator",
+    "SimplicityEstimator",
+    "BayesCardEstimator",
+    "NeuroCardEstimator",
+]

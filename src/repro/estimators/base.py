@@ -1,0 +1,44 @@
+"""Common interface for all cardinality estimators in the evaluation.
+
+Every compared system (Sec 5, "Compared Systems") implements:
+
+* ``build(db)`` — the offline phase (may be a no-op, e.g. PessEst);
+* ``estimate(query)`` — a cardinality estimate (or bound) for any
+  conjunctive (sub)query;
+* ``memory_bytes()`` — size of the pre-computed statistics (Fig 8a).
+
+``build_seconds`` is recorded by ``build`` implementations (Fig 8b).
+"""
+
+from __future__ import annotations
+
+from ..db.database import Database
+from ..db.query import Query
+
+__all__ = ["CardinalityEstimator", "UnsupportedQueryError"]
+
+
+class UnsupportedQueryError(Exception):
+    """The estimator cannot handle this query (e.g. BayesCard + LIKE,
+    NeuroCard + cyclic schemas) — mirrors the gaps in the paper's Fig 5."""
+
+
+class CardinalityEstimator:
+    """Base class; estimators override :meth:`build` and :meth:`estimate`."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.build_seconds = 0.0
+
+    def build(self, db: Database) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def estimate(self, query: Query) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,353 @@
+"""System-R style estimators: Postgres, Postgres2D and PostgresPK.
+
+``PostgresEstimator`` mimics PostgreSQL v13's selectivity machinery:
+per-column MCV lists, equi-depth histograms and distinct counts built from
+a row sample, combined under independence and uniformity assumptions, plus
+the magic constant for LIKE.  ``Postgres2DEstimator`` adds pairwise joint
+statistics (extended statistics).  ``PostgresPKEstimator`` pre-computes
+PK-FK joins, propagating dimension filter columns onto fact tables, as the
+paper does to isolate the benefit of SafeBound's Sec 4.2 optimization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.predicates import And, Eq, InList, Like, Or, Predicate, Range
+from ..db.database import Database
+from ..db.query import Query
+from .base import CardinalityEstimator
+
+__all__ = ["PostgresEstimator", "Postgres2DEstimator", "PostgresPKEstimator"]
+
+# PostgreSQL's default selectivity for an unanchored LIKE with no stats.
+LIKE_MATCH_SELECTIVITY = 0.005
+DEFAULT_EQ_SELECTIVITY = 0.005
+DEFAULT_RANGE_SELECTIVITY = 0.3333
+SAMPLE_ROWS = 30_000
+MCV_TARGET = 100
+HISTOGRAM_BOUNDS = 101
+
+
+@dataclass
+class _ColumnStats:
+    """Statistics for one column, in the style of ``pg_statistic``."""
+
+    n_distinct: int = 1
+    mcv_values: dict = field(default_factory=dict)  # value -> frequency fraction
+    histogram: np.ndarray | None = None  # equi-depth bounds (numeric only)
+    is_string: bool = False
+
+    def memory_bytes(self) -> int:
+        total = 16
+        total += sum(len(str(v)) + 8 for v in self.mcv_values)
+        if self.histogram is not None:
+            total += self.histogram.nbytes
+        return total
+
+
+def _build_column_stats(values: np.ndarray, rng: np.random.Generator) -> _ColumnStats:
+    if len(values) > SAMPLE_ROWS:
+        values = values[rng.choice(len(values), SAMPLE_ROWS, replace=False)]
+    stats = _ColumnStats()
+    stats.is_string = values.dtype == object
+    n = max(len(values), 1)
+    if stats.is_string:
+        counts: dict = {}
+        for v in values.tolist():
+            counts[v] = counts.get(v, 0) + 1
+        stats.n_distinct = max(len(counts), 1)
+        top = sorted(counts, key=lambda v: -counts[v])[:MCV_TARGET]
+        stats.mcv_values = {v: counts[v] / n for v in top}
+        return stats
+    uniques, cnts = np.unique(values, return_counts=True)
+    stats.n_distinct = max(len(uniques), 1)
+    order = np.argsort(cnts)[::-1][:MCV_TARGET]
+    stats.mcv_values = {
+        float(uniques[i]): float(cnts[i]) / n for i in order if cnts[i] > 1
+    }
+    stats.histogram = np.quantile(
+        values.astype(float), np.linspace(0, 1, HISTOGRAM_BOUNDS)
+    )
+    return stats
+
+
+@dataclass
+class _TableStats:
+    num_rows: int = 0
+    columns: dict[str, _ColumnStats] = field(default_factory=dict)
+
+    def memory_bytes(self) -> int:
+        return 8 + sum(c.memory_bytes() for c in self.columns.values())
+
+
+class PostgresEstimator(CardinalityEstimator):
+    """PostgreSQL v13's built-in estimator, reimplemented."""
+
+    name = "Postgres"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = np.random.default_rng(seed)
+        self.tables: dict[str, _TableStats] = {}
+
+    # ------------------------------------------------------------------
+    def build(self, db: Database) -> None:
+        started = time.perf_counter()
+        self.tables = {}
+        for name, table in db.tables.items():
+            ts = _TableStats(num_rows=table.num_rows)
+            for col in table.column_names:
+                ts.columns[col] = _build_column_stats(table.column(col), self._rng)
+            self.tables[name] = ts
+        self.build_seconds = time.perf_counter() - started
+
+    def memory_bytes(self) -> int:
+        return sum(t.memory_bytes() for t in self.tables.values())
+
+    # ------------------------------------------------------------------
+    # Selectivity estimation
+    # ------------------------------------------------------------------
+    def _column(self, table: str, column: str) -> _ColumnStats:
+        return self.tables[table].columns.get(column, _ColumnStats())
+
+    def _eq_selectivity(self, stats: _ColumnStats, value) -> float:
+        if isinstance(value, np.generic):
+            value = value.item()
+        if isinstance(value, (int, float)) and not stats.is_string:
+            value = float(value)
+        if value in stats.mcv_values:
+            return stats.mcv_values[value]
+        rest = max(1.0 - sum(stats.mcv_values.values()), 0.0)
+        others = max(stats.n_distinct - len(stats.mcv_values), 1)
+        return rest / others if stats.n_distinct > 1 else DEFAULT_EQ_SELECTIVITY
+
+    def _range_selectivity(self, stats: _ColumnStats, pred: Range) -> float:
+        hist = stats.histogram
+        if hist is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        lo = hist[0] if pred.low is None else float(pred.low)
+        hi = hist[-1] if pred.high is None else float(pred.high)
+        if hi < lo:
+            return 0.0
+        span = hist[-1] - hist[0]
+
+        def cdf(x: float) -> float:
+            # Fraction of rows below x according to the equi-depth bounds.
+            if x <= hist[0]:
+                return 0.0
+            if x >= hist[-1]:
+                return 1.0
+            idx = int(np.searchsorted(hist, x, side="right")) - 1
+            idx = min(idx, len(hist) - 2)
+            left, right = hist[idx], hist[idx + 1]
+            frac = (x - left) / (right - left) if right > left else 1.0
+            return (idx + frac) / (len(hist) - 1)
+
+        sel = max(cdf(hi) - cdf(lo), 0.0)
+        if span == 0:
+            sel = 1.0 if lo <= hist[0] <= hi else 0.0
+        return min(max(sel, 0.0), 1.0)
+
+    def _predicate_selectivity(self, table: str, node: Predicate) -> float:
+        if isinstance(node, And):
+            sel = 1.0
+            for child in node.children:
+                sel *= self._predicate_selectivity(table, child)
+            return sel
+        if isinstance(node, Or):
+            sel = 0.0
+            for child in node.children:
+                s = self._predicate_selectivity(table, child)
+                sel = sel + s - sel * s
+            return sel
+        if isinstance(node, InList):
+            sel = sum(
+                self._eq_selectivity(self._column(table, node.column), v)
+                for v in node.values
+            )
+            return min(sel, 1.0)
+        if isinstance(node, Eq):
+            return self._eq_selectivity(self._column(table, node.column), node.value)
+        if isinstance(node, Range):
+            return self._range_selectivity(self._column(table, node.column), node)
+        if isinstance(node, Like):
+            return LIKE_MATCH_SELECTIVITY
+        return 1.0
+
+    def table_selectivity(self, table: str, predicate: Predicate | None) -> float:
+        if predicate is None:
+            return 1.0
+        return min(max(self._predicate_selectivity(table, predicate), 1e-12), 1.0)
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> float:
+        """System-R style join estimation under independence."""
+        if not query.relations:
+            return 0.0
+        card = 1.0
+        for alias, tname in query.relations.items():
+            rows = self.tables[tname].num_rows
+            card *= rows * self.table_selectivity(tname, query.predicates.get(alias))
+        for var in query.variables():
+            distincts = []
+            for ref in var:
+                tname = query.relations[ref.alias]
+                distincts.append(self._column(tname, ref.column).n_distinct)
+            if len(distincts) >= 2:
+                card /= max(distincts) ** (len(distincts) - 1)
+        return max(card, 1.0)
+
+
+class Postgres2DEstimator(PostgresEstimator):
+    """Postgres with extended (pairwise) statistics on filter columns.
+
+    For every pair of declared filter columns of a table we keep the joint
+    distinct count and a joint MCV list; conjunctions of two equality
+    predicates on a covered pair use the joint statistics instead of the
+    independence product.
+    """
+
+    name = "Postgres2D"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        # (table, colA, colB) -> (joint_n_distinct, {(va, vb): freq})
+        self.joint: dict[tuple[str, str, str], tuple[int, dict]] = {}
+
+    def build(self, db: Database) -> None:
+        super().build(db)
+        started = time.perf_counter()
+        for name, table in db.tables.items():
+            fcols = [
+                c
+                for c in db.schema.tables[name].filter_columns
+                if not table.is_string_column(c)
+            ]
+            for i, a in enumerate(fcols):
+                for b in fcols[i + 1 :]:
+                    va = table.column(a).astype(float)
+                    vb = table.column(b).astype(float)
+                    pairs = va * 1e9 + vb  # cheap pair encoding for floats
+                    uniq, counts = np.unique(pairs, return_counts=True)
+                    order = np.argsort(counts)[::-1][:MCV_TARGET]
+                    n = table.num_rows
+                    mcv = {}
+                    for idx in order:
+                        rows = counts[idx]
+                        if rows <= 1:
+                            break
+                        key_a = float(va[pairs == uniq[idx]][0])
+                        key_b = float(vb[pairs == uniq[idx]][0])
+                        mcv[(key_a, key_b)] = rows / n
+                    self.joint[(name, a, b)] = (len(uniq), mcv)
+        self.build_seconds += time.perf_counter() - started
+
+    def memory_bytes(self) -> int:
+        total = super().memory_bytes()
+        for _, (__, mcv) in self.joint.items():
+            total += 8 + 24 * len(mcv)
+        return total
+
+    def _predicate_selectivity(self, table: str, node: Predicate) -> float:
+        if isinstance(node, And):
+            eq_children = [c for c in node.children if isinstance(c, Eq)]
+            if len(eq_children) >= 2:
+                a, b = sorted(eq_children[:2], key=lambda c: c.column)
+                key = (table, a.column, b.column)
+                if key in self.joint:
+                    n_joint, mcv = self.joint[key]
+                    pair = (float(a.value), float(b.value))
+                    sel = mcv.get(pair, max(1.0 - sum(mcv.values()), 0.0) / max(n_joint - len(mcv), 1))
+                    rest = [c for c in node.children if c is not a and c is not b]
+                    for child in rest:
+                        sel *= self._predicate_selectivity(table, child)
+                    return sel
+        return super()._predicate_selectivity(table, node)
+
+
+class PostgresPKEstimator(PostgresEstimator):
+    """Postgres over pre-computed PK-FK joins (the paper's PostgresPK).
+
+    Fact tables are logically extended with the filter columns of the
+    dimension tables they reference; queries are rewritten so dimension
+    predicates also apply to the fact side.  Statistics on the extended
+    columns then capture the predicate-induced correlation that plain
+    Postgres misses.
+    """
+
+    name = "PostgresPK"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        # fact table -> {(fk_col, dim_table, dim_pk, dim_col) -> virtual name}
+        self.virtuals: dict[str, dict[tuple[str, str, str, str], str]] = {}
+        self._db: Database | None = None
+
+    def build(self, db: Database) -> None:
+        from ..core.stats_builder import _pull_dimension_column, virtual_column_name
+
+        super().build(db)
+        started = time.perf_counter()
+        self._db = db
+        for name, table in db.tables.items():
+            vmap: dict[tuple[str, str, str, str], str] = {}
+            for fk in db.schema.foreign_keys_of(name):
+                if fk.ref_table not in db:
+                    continue
+                dim_schema = db.schema.tables[fk.ref_table]
+                dim = db.table(fk.ref_table)
+                for dcol in dim_schema.filter_columns:
+                    vname = virtual_column_name(fk.column, fk.ref_table, dcol)
+                    values = _pull_dimension_column(
+                        table.column(fk.column),
+                        dim.column(fk.ref_column),
+                        dim.column(dcol),
+                    )
+                    self.tables[name].columns[vname] = _build_column_stats(
+                        values, self._rng
+                    )
+                    vmap[(fk.column, fk.ref_table, fk.ref_column, dcol)] = vname
+            self.virtuals[name] = vmap
+        self.build_seconds += time.perf_counter() - started
+
+    def estimate(self, query: Query) -> float:
+        from ..core.safebound import _rewrite_predicate
+
+        rewritten = Query(
+            relations=dict(query.relations),
+            joins=list(query.joins),
+            predicates=dict(query.predicates),
+        )
+        for join in query.joins:
+            for fact_ref, dim_ref in ((join.left, join.right), (join.right, join.left)):
+                fact_table = query.relations[fact_ref.alias]
+                dim_table = query.relations[dim_ref.alias]
+                dim_pred = query.predicates.get(dim_ref.alias)
+                if dim_pred is None:
+                    continue
+                vmap = self.virtuals.get(fact_table, {})
+                column_map = {
+                    dcol: vname
+                    for (fkcol, dtable, dpk, dcol), vname in vmap.items()
+                    if fkcol == fact_ref.column
+                    and dtable == dim_table
+                    and dpk == dim_ref.column
+                }
+                if not column_map:
+                    continue
+                # Strict rewrite: the predicate MOVES from the dimension to
+                # the fact side (the paper's query adjustment), so it must
+                # rewrite completely.
+                extra = _rewrite_predicate(dim_pred, column_map, strict=True)
+                if extra is None:
+                    continue
+                existing = rewritten.predicates.get(fact_ref.alias)
+                rewritten.predicates[fact_ref.alias] = (
+                    And([existing, extra]) if existing is not None else extra
+                )
+                rewritten.predicates.pop(dim_ref.alias, None)
+        return super().estimate(rewritten)

@@ -1,0 +1,115 @@
+"""Simplicity (Hertzschuch et al., CIDR 2021): max-degree "upper bounds"
+seeded with traditional single-table estimates.
+
+Simplicity stores only the unconditioned maximum degree of every join
+column and derives single-table cardinalities from Postgres' estimator.
+The combination is fast and small but (a) grossly overestimates because
+the max degree ignores predicates, and (b) is *not* a guaranteed bound
+because the single-table estimates may underestimate — both effects are
+visible in Fig 5c.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import numpy as np
+
+from ..db.database import Database
+from ..db.query import Query
+from .base import CardinalityEstimator
+from .postgres import PostgresEstimator
+
+__all__ = ["SimplicityEstimator"]
+
+
+class SimplicityEstimator(CardinalityEstimator):
+    """Unconditioned max-degree bound over Postgres single-table estimates."""
+
+    name = "Simplicity"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._postgres = PostgresEstimator(seed)
+        # (table, column) -> global max degree
+        self.max_degrees: dict[tuple[str, str], float] = {}
+
+    def build(self, db: Database) -> None:
+        self._postgres.build(db)
+        import time
+
+        started = time.perf_counter()
+        self.max_degrees = {}
+        for name, table in db.tables.items():
+            for col in db.schema.tables[name].join_columns:
+                values = table.column(col)
+                if len(values):
+                    _, counts = np.unique(values, return_counts=True)
+                    self.max_degrees[(name, col)] = float(counts.max())
+                else:
+                    self.max_degrees[(name, col)] = 0.0
+        self.build_seconds = self._postgres.build_seconds + (
+            time.perf_counter() - started
+        )
+
+    def memory_bytes(self) -> int:
+        # Simplicity reuses the statistics Postgres already stores; its own
+        # footprint is one float per join column (Fig 8a).
+        return 8 * len(self.max_degrees)
+
+    # ------------------------------------------------------------------
+    def _single_table(self, query: Query, alias: str) -> float:
+        tname = query.relations[alias]
+        rows = self._postgres.tables[tname].num_rows
+        sel = self._postgres.table_selectivity(tname, query.predicates.get(alias))
+        return max(rows * sel, 1.0)
+
+    def _max_degree(self, query: Query, alias: str, column: str) -> float:
+        key = (query.relations[alias], column)
+        return self.max_degrees.get(key, 1.0)
+
+    def estimate(self, query: Query) -> float:
+        if not query.relations:
+            return 0.0
+        graph = query.join_graph()
+        if nx.is_forest(graph):
+            return self._bound_on_forest(query, graph)
+        best = np.inf
+        for tree in itertools.islice(nx.SpanningTreeIterator(graph), 16):
+            forest = nx.Graph(tree.edges())
+            forest.add_nodes_from(graph.nodes())
+            best = min(best, self._bound_on_forest(query, forest))
+        return float(best)
+
+    def _bound_on_forest(self, query: Query, tree: nx.Graph) -> float:
+        total = 1.0
+        for component in nx.connected_components(tree):
+            best = np.inf
+            for root in sorted(component):
+                best = min(best, self._bound_at_root(query, tree, root))
+            total *= best
+        return float(total)
+
+    def _join_child_column(self, query: Query, parent: str, child: str) -> str | None:
+        for j in query.joins:
+            if j.left.alias == parent and j.right.alias == child:
+                return j.right.column
+            if j.left.alias == child and j.right.alias == parent:
+                return j.left.column
+        return None
+
+    def _bound_at_root(self, query: Query, tree: nx.Graph, root: str) -> float:
+        bound = self._single_table(query, root)
+        for child in tree.neighbors(root):
+            bound *= self._subtree_expansion(query, tree, child, root)
+        return bound
+
+    def _subtree_expansion(self, query: Query, tree: nx.Graph, child: str, parent: str) -> float:
+        column = self._join_child_column(query, parent, child)
+        factor = self._max_degree(query, child, column) if column else 1.0
+        for grandchild in tree.neighbors(child):
+            if grandchild == parent:
+                continue
+            factor *= self._subtree_expansion(query, tree, grandchild, child)
+        return factor

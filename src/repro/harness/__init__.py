@@ -1,0 +1,49 @@
+"""Experiment harness: runners, metrics and per-figure reductions."""
+
+from .experiments import (
+    SuiteConfig,
+    build_workloads,
+    default_estimators,
+    fig5a_runtimes,
+    fig5b_planning_time,
+    fig5c_relative_error,
+    fig6_longest_queries,
+    fig7_binned_runtime,
+    fig8a_memory,
+    fig8b_build_time,
+    fig9a_regressions,
+    fig9b_compression,
+    fig9c_clustering,
+    fig10_scalability,
+    run_end_to_end,
+)
+from .metrics import quantiles, regression_stats, relative_error, speedup_quantiles
+from .reporting import format_table
+from .runner import MethodResult, QueryRecord, run_suite, run_workload
+
+__all__ = [
+    "SuiteConfig",
+    "build_workloads",
+    "default_estimators",
+    "run_end_to_end",
+    "fig5a_runtimes",
+    "fig5b_planning_time",
+    "fig5c_relative_error",
+    "fig6_longest_queries",
+    "fig7_binned_runtime",
+    "fig8a_memory",
+    "fig8b_build_time",
+    "fig9a_regressions",
+    "fig9b_compression",
+    "fig9c_clustering",
+    "fig10_scalability",
+    "relative_error",
+    "quantiles",
+    "speedup_quantiles",
+    "regression_stats",
+    "format_table",
+    "run_workload",
+    "run_suite",
+    "MethodResult",
+    "QueryRecord",
+]

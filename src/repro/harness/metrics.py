@@ -1,0 +1,51 @@
+"""Metrics used in the paper's evaluation (Sec 5, "Metrics")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relative_error",
+    "quantiles",
+    "speedup_quantiles",
+    "regression_stats",
+]
+
+
+def relative_error(estimate: float, true_cardinality: float) -> float:
+    """``Estimate / True`` — the paper's signed error metric (Sec 5).
+
+    Values below 1 are underestimates; a guaranteed bound never goes
+    below 1 (up to an empty-result floor).
+    """
+    return float(estimate) / max(float(true_cardinality), 1.0)
+
+
+def quantiles(values, qs=(0.05, 0.25, 0.5, 0.75, 0.95)) -> dict[float, float]:
+    values = np.asarray(list(values), dtype=float)
+    if not len(values):
+        return {q: float("nan") for q in qs}
+    return {q: float(np.quantile(values, q)) for q in qs}
+
+
+def speedup_quantiles(baseline_runtimes, method_runtimes, qs=(0.05, 0.25, 0.5, 0.75, 0.95)):
+    """Per-query speedups of ``method`` over ``baseline`` (Fig 6 caption)."""
+    baseline = np.asarray(list(baseline_runtimes), dtype=float)
+    method = np.asarray(list(method_runtimes), dtype=float)
+    ratio = baseline / np.maximum(method, 1e-9)
+    return quantiles(ratio, qs)
+
+
+def regression_stats(before, after, threshold: float = 1.05):
+    """Count and severity of performance regressions (Fig 9a).
+
+    ``before``/``after`` are per-query runtimes without/with the change
+    (index creation).  A regression is ``after > threshold * before``;
+    severity is the mean slowdown among regressions.
+    """
+    before = np.asarray(list(before), dtype=float)
+    after = np.asarray(list(after), dtype=float)
+    mask = after > threshold * np.maximum(before, 1e-9)
+    count = int(mask.sum())
+    severity = float((after[mask] / np.maximum(before[mask], 1e-9)).mean()) if count else 1.0
+    return count, severity

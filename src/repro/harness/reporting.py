@@ -1,0 +1,38 @@
+"""Plain-text tables in the style of the paper's figures."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value, digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if v != v:  # NaN
+        return "-"
+    if v == float("inf"):
+        return "inf"
+    if abs(v) >= 1e6 or (0 < abs(v) < 1e-3):
+        return f"{v:.2e}"
+    return f"{v:.{digits}f}"
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([c if isinstance(c, str) else format_float(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

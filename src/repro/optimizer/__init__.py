@@ -1,0 +1,18 @@
+"""Cost-based query optimizer with pluggable cardinality estimates."""
+
+from .cost import CostModel
+from .join_order import PlannedQuery, Planner
+from .plans import JoinNode, PlanNode, ScanNode, plan_aliases, plan_depth
+from .simulator import PlanSimulator
+
+__all__ = [
+    "CostModel",
+    "Planner",
+    "PlannedQuery",
+    "PlanNode",
+    "ScanNode",
+    "JoinNode",
+    "plan_aliases",
+    "plan_depth",
+    "PlanSimulator",
+]

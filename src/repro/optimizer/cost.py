@@ -1,0 +1,55 @@
+"""Cost model of the simulated execution engine.
+
+Deliberately Postgres-shaped: sequential scans are cheap per row, hash
+joins pay build + probe, index nested-loop joins pay a random-access
+penalty per probe, and plain nested loops pay per *pair*.  The constants
+matter only in ratio; they are chosen so that
+
+* hash joins win for large inputs,
+* index nested-loops win for genuinely small outers,
+* nested loops win only for tiny inputs —
+
+which is exactly the terrain where optimistic cardinality underestimates
+push the optimizer off a cliff (Sec 1 and Fig 6/7 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["CostModel"]
+
+
+class CostModel:
+    """Per-operator cost formulas (unit: abstract tuple operations)."""
+
+    SCAN_PER_ROW = 1.0
+    HASH_BUILD_PER_ROW = 2.0
+    HASH_PROBE_PER_ROW = 1.2
+    OUTPUT_PER_ROW = 0.1
+    INDEX_PROBE_BASE = 6.0  # random access per outer tuple
+    INDEX_MATCH_PER_ROW = 0.5
+    NLJ_PER_PAIR = 0.2
+
+    def scan(self, table_rows: float) -> float:
+        return self.SCAN_PER_ROW * table_rows
+
+    def hash_join(self, build_rows: float, probe_rows: float, output_rows: float) -> float:
+        return (
+            self.HASH_BUILD_PER_ROW * build_rows
+            + self.HASH_PROBE_PER_ROW * probe_rows
+            + self.OUTPUT_PER_ROW * output_rows
+        )
+
+    def index_nested_loop(
+        self, outer_rows: float, inner_table_rows: float, matched_rows: float, output_rows: float
+    ) -> float:
+        probe = self.INDEX_PROBE_BASE * max(math.log2(max(inner_table_rows, 2.0)) / 14.0, 0.3)
+        return (
+            outer_rows * probe
+            + self.INDEX_MATCH_PER_ROW * matched_rows
+            + self.OUTPUT_PER_ROW * output_rows
+        )
+
+    def nested_loop(self, outer_rows: float, inner_rows: float, output_rows: float) -> float:
+        return self.NLJ_PER_PAIR * outer_rows * inner_rows + self.OUTPUT_PER_ROW * output_rows

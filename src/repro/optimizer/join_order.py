@@ -1,0 +1,288 @@
+"""Cost-based join ordering with injected cardinality estimates.
+
+Mirrors the paper's experimental setup (Sec 5, "Experimental Setup"):
+Postgres' optimizer is given estimates for *every* subquery through
+``pg_hint_plan``; here the DP asks the injected estimator for every
+connected subset it considers.  Queries with many relations fall back to a
+greedy (GOO-style) heuristic, as real systems do beyond their DP budget.
+
+The planner also decides physical operators — hash join, index
+nested-loop (when the inner is a base table with an index on the join
+column), or plain nested loop — which is where underestimates become
+expensive plans.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..db.database import Database
+from ..db.query import Query
+from ..estimators.base import CardinalityEstimator
+from .cost import CostModel
+from .plans import JoinNode, PlanNode, ScanNode
+
+__all__ = ["Planner", "PlannedQuery"]
+
+
+@dataclass
+class PlannedQuery:
+    """The planner's output: a physical plan plus bookkeeping."""
+
+    query: Query
+    plan: PlanNode
+    planning_seconds: float
+    estimate_calls: int
+
+
+class Planner:
+    """Dynamic-programming join-order optimizer over injected estimates."""
+
+    def __init__(
+        self,
+        db: Database,
+        estimator: CardinalityEstimator,
+        cost_model: CostModel | None = None,
+        indexes_enabled: bool = True,
+        dp_max_relations: int = 10,
+    ) -> None:
+        self.db = db
+        self.estimator = estimator
+        self.cost = cost_model or CostModel()
+        self.indexes_enabled = indexes_enabled
+        self.dp_max_relations = dp_max_relations
+        self._estimate_calls = 0
+
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> PlannedQuery:
+        started = time.perf_counter()
+        self._estimate_calls = 0
+        aliases = sorted(query.relations)
+        if len(aliases) <= self.dp_max_relations:
+            plan, _ = self._plan_dp(query, aliases)
+        else:
+            plan, _ = self._plan_greedy(query, aliases)
+        return PlannedQuery(
+            query, plan, time.perf_counter() - started, self._estimate_calls
+        )
+
+    # ------------------------------------------------------------------
+    def _estimate(self, query: Query, subset: frozenset[str]) -> float:
+        self._estimate_calls += 1
+        sub = query.induced_subquery(subset)
+        est = self.estimator.estimate(sub)
+        return max(float(est), 1.0)
+
+    def _estimate_prefilter(
+        self, query: Query, outer: frozenset[str], inner_alias: str
+    ) -> float:
+        """Estimated rows an index on the inner produces *before* the inner
+        predicate applies (index probes return all key matches)."""
+        self._estimate_calls += 1
+        sub = query.induced_subquery(outer | {inner_alias})
+        sub.predicates.pop(inner_alias, None)
+        return max(float(self.estimator.estimate(sub)), 1.0)
+
+    def _has_index(self, query: Query, alias: str, column: str) -> bool:
+        if not self.indexes_enabled:
+            return False
+        return self.db.schema.is_join_column(query.relations[alias], column)
+
+    def _inner_join_column(self, query: Query, outer: frozenset[str], inner: str) -> str | None:
+        for j in query.joins:
+            if j.left.alias == inner and j.right.alias in outer:
+                return j.left.column
+            if j.right.alias == inner and j.left.alias in outer:
+                return j.right.column
+        return None
+
+    # ------------------------------------------------------------------
+    def _scan_node(self, query: Query, alias: str) -> tuple[ScanNode, float]:
+        table = query.relations[alias]
+        est = self._estimate(query, frozenset([alias]))
+        node = ScanNode(est_rows=est, alias=alias, table=table)
+        cost = self.cost.scan(self.db.table(table).num_rows)
+        return node, cost
+
+    def _join_candidates(
+        self,
+        query: Query,
+        left: tuple[PlanNode, float],
+        right: tuple[PlanNode, float],
+        left_set: frozenset[str],
+        right_set: frozenset[str],
+        out_rows: float,
+    ):
+        """All physical joins of two subplans, with estimated total cost."""
+        left_node, left_cost = left
+        right_node, right_cost = right
+        # Hash join: build on the smaller estimated side.
+        build, probe = (
+            (left_node, right_node)
+            if left_node.est_rows <= right_node.est_rows
+            else (right_node, left_node)
+        )
+        yield (
+            JoinNode(out_rows, build, probe, "hash"),
+            left_cost
+            + right_cost
+            + self.cost.hash_join(build.est_rows, probe.est_rows, out_rows),
+        )
+        # Nested loop (no index): smaller estimated side as outer.
+        outer, inner = (
+            (left_node, right_node)
+            if left_node.est_rows <= right_node.est_rows
+            else (right_node, left_node)
+        )
+        yield (
+            JoinNode(out_rows, outer, inner, "nlj"),
+            left_cost
+            + right_cost
+            + self.cost.nested_loop(outer.est_rows, inner.est_rows, out_rows),
+        )
+        # Index nested loop: inner must be a single indexed base relation.
+        for outer_set, outer_pair, inner_set, inner_pair in (
+            (left_set, left, right_set, right),
+            (right_set, right, left_set, left),
+        ):
+            if len(inner_set) != 1:
+                continue
+            inner_alias = next(iter(inner_set))
+            column = self._inner_join_column(query, outer_set, inner_alias)
+            if column is None or not self._has_index(query, inner_alias, column):
+                continue
+            matched = self._estimate_prefilter(query, outer_set, inner_alias)
+            inner_rows = self.db.table(query.relations[inner_alias]).num_rows
+            outer_node, outer_cost = outer_pair
+            yield (
+                JoinNode(out_rows, outer_node, inner_pair[0], "inlj"),
+                outer_cost
+                + self.cost.index_nested_loop(
+                    outer_node.est_rows, inner_rows, matched, out_rows
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Dynamic programming over connected subsets
+    # ------------------------------------------------------------------
+    def _plan_dp(self, query: Query, aliases: list[str]) -> tuple[PlanNode, float]:
+        index = {a: i for i, a in enumerate(aliases)}
+        n = len(aliases)
+        adjacency = [0] * n
+        for j in query.joins:
+            a, b = index[j.left.alias], index[j.right.alias]
+            if a != b:
+                adjacency[a] |= 1 << b
+                adjacency[b] |= 1 << a
+
+        def connected(mask: int) -> bool:
+            start = mask & -mask
+            seen = start
+            frontier = start
+            while frontier:
+                reach = 0
+                m = frontier
+                while m:
+                    bit = m & -m
+                    reach |= adjacency[bit.bit_length() - 1]
+                    m ^= bit
+                new = reach & mask & ~seen
+                if not new:
+                    break
+                seen |= new
+                frontier = new
+            return seen == mask
+
+        def to_set(mask: int) -> frozenset[str]:
+            return frozenset(aliases[i] for i in range(n) if mask >> i & 1)
+
+        best: dict[int, tuple[PlanNode, float]] = {}
+        for i, alias in enumerate(aliases):
+            best[1 << i] = self._scan_node(query, alias)
+        full = (1 << n) - 1
+        for mask in range(1, full + 1):
+            if mask in best or not connected(mask):
+                continue
+            subset = to_set(mask)
+            out_rows = self._estimate(query, subset)
+            champion: tuple[PlanNode, float] | None = None
+            # Enumerate proper sub-masks; each (sub, mask^sub) split is
+            # considered once per orientation, which the candidates need.
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other:  # each unordered split once
+                    sub = (sub - 1) & mask
+                    continue
+                if sub in best and other in best:
+                    left_set, right_set = to_set(sub), to_set(other)
+                    if self._sets_joined(query, left_set, right_set):
+                        for node, cost in self._join_candidates(
+                            query, best[sub], best[other], left_set, right_set, out_rows
+                        ):
+                            if champion is None or cost < champion[1]:
+                                champion = (node, cost)
+                sub = (sub - 1) & mask
+            if champion is not None:
+                best[mask] = champion
+        if full not in best:
+            # Disconnected query: greedily cross-join the components.
+            return self._plan_greedy(query, aliases)
+        return best[full]
+
+    @staticmethod
+    def _sets_joined(query: Query, left: frozenset[str], right: frozenset[str]) -> bool:
+        for j in query.joins:
+            if (j.left.alias in left and j.right.alias in right) or (
+                j.left.alias in right and j.right.alias in left
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Greedy fallback for many-relation queries
+    # ------------------------------------------------------------------
+    def _plan_greedy(self, query: Query, aliases: list[str]) -> tuple[PlanNode, float]:
+        remaining: dict[frozenset[str], tuple[PlanNode, float]] = {}
+        for alias in aliases:
+            remaining[frozenset([alias])] = self._scan_node(query, alias)
+        while len(remaining) > 1:
+            champion = None
+            champion_key = None
+            keys = sorted(remaining, key=sorted)
+            for i, left_set in enumerate(keys):
+                for right_set in keys[i + 1 :]:
+                    if not self._sets_joined(query, left_set, right_set):
+                        continue
+                    union = left_set | right_set
+                    out_rows = self._estimate(query, union)
+                    for node, cost in self._join_candidates(
+                        query,
+                        remaining[left_set],
+                        remaining[right_set],
+                        left_set,
+                        right_set,
+                        out_rows,
+                    ):
+                        if champion is None or cost < champion[1]:
+                            champion = (node, cost)
+                            champion_key = (left_set, right_set)
+            if champion is None:
+                # Only cross products remain: merge the two smallest.
+                keys = sorted(remaining, key=lambda k: remaining[k][0].est_rows)
+                left_set, right_set = keys[0], keys[1]
+                left, right = remaining[left_set], remaining[right_set]
+                out_rows = left[0].est_rows * right[0].est_rows
+                champion = (
+                    JoinNode(out_rows, left[0], right[0], "nlj"),
+                    left[1]
+                    + right[1]
+                    + self.cost.nested_loop(left[0].est_rows, right[0].est_rows, out_rows),
+                )
+                champion_key = (left_set, right_set)
+            left_set, right_set = champion_key
+            del remaining[left_set]
+            del remaining[right_set]
+            remaining[left_set | right_set] = champion
+        return next(iter(remaining.values()))

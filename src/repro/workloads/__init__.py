@@ -1,0 +1,23 @@
+"""Synthetic benchmark workloads mirroring the paper's evaluation datasets."""
+
+from .generator import Workload
+from .imdb import JOB_LIGHT_TABLES, JOB_M_TABLES, make_imdb
+from .job_light import make_job_light
+from .job_light_ranges import make_job_light_ranges
+from .job_m import make_job_m
+from .stats_ceb import make_stats_ceb, make_stats_db
+from .tpch import make_tpch, make_tpch_db
+
+__all__ = [
+    "Workload",
+    "make_imdb",
+    "JOB_LIGHT_TABLES",
+    "JOB_M_TABLES",
+    "make_job_light",
+    "make_job_light_ranges",
+    "make_job_m",
+    "make_stats_ceb",
+    "make_stats_db",
+    "make_tpch",
+    "make_tpch_db",
+]

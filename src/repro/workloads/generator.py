@@ -1,0 +1,133 @@
+"""Seeded data-generation primitives shared by all synthetic workloads.
+
+The paper's phenomena rest on three distributional properties of real data
+that these helpers reproduce:
+
+* **skew** — join-column degree sequences are Zipf-like (a few movies have
+  thousands of cast entries);
+* **cross-column correlation** — filter columns predict each other (genre
+  predicts production year), which breaks Postgres' independence
+  assumption;
+* **filter/join correlation** — predicates select high- or low-degree
+  join values (popular keywords attach to popular movies), which breaks
+  uniformity and motivates SafeBound's conditioned degree sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Workload",
+    "zipf_keys",
+    "correlated_int",
+    "popularity_weights",
+    "weighted_keys",
+    "random_words",
+    "date_like_strings",
+]
+
+from dataclasses import dataclass, field
+
+from ..db.database import Database
+from ..db.query import Query
+
+
+@dataclass
+class Workload:
+    """A benchmark: a database plus a list of queries."""
+
+    name: str
+    db: Database
+    queries: list[Query] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, tables={len(self.db.tables)}, queries={len(self.queries)})"
+
+
+def zipf_keys(rng: np.random.Generator, alpha: float, size: int, domain: int) -> np.ndarray:
+    """Zipf-distributed foreign keys over ``[0, domain)``.
+
+    Smaller key = more popular, so popularity aligns across tables drawn
+    with the same domain (the worst-case-instance flavour of real data).
+    """
+    raw = rng.zipf(alpha, size) - 1
+    return (raw % domain).astype(np.int64)
+
+
+def popularity_weights(rng: np.random.Generator, domain: int, alpha: float = 1.1) -> np.ndarray:
+    """Per-key sampling weights with Zipf-ish decay plus noise."""
+    ranks = np.arange(1, domain + 1, dtype=float)
+    weights = ranks**-alpha
+    weights *= rng.uniform(0.5, 1.5, domain)
+    return weights / weights.sum()
+
+
+def weighted_keys(
+    rng: np.random.Generator, weights: np.ndarray, size: int
+) -> np.ndarray:
+    """Foreign keys drawn from explicit per-key weights."""
+    return rng.choice(len(weights), size=size, p=weights).astype(np.int64)
+
+
+def correlated_int(
+    rng: np.random.Generator,
+    base: np.ndarray,
+    low: int,
+    high: int,
+    strength: float = 0.8,
+    noise: int = 5,
+) -> np.ndarray:
+    """An integer column correlated with ``base``.
+
+    ``strength`` in [0, 1] interpolates between pure noise and a
+    deterministic affine function of ``base``; Postgres' independence
+    assumption fails in proportion to it.
+    """
+    base = base.astype(float)
+    lo_b, hi_b = float(base.min()), float(base.max())
+    span_b = max(hi_b - lo_b, 1.0)
+    mapped = low + (base - lo_b) / span_b * (high - low)
+    noisy = mapped + rng.integers(-noise, noise + 1, len(base))
+    uniform = rng.integers(low, high + 1, len(base)).astype(float)
+    mixed = np.where(rng.random(len(base)) < strength, noisy, uniform)
+    return np.clip(np.round(mixed), low, high).astype(np.int64)
+
+
+_SYLLABLES = [
+    "an", "bar", "cor", "dan", "el", "fur", "gor", "hul", "in", "jo",
+    "kar", "lum", "mor", "nor", "ol", "pra", "qui", "ran", "sol", "tur",
+    "ul", "vor", "wen", "xan", "yor", "zan", "the", "ing", "ter", "ron",
+]
+
+
+def random_words(
+    rng: np.random.Generator,
+    size: int,
+    vocabulary: int = 500,
+    syllables: tuple[int, int] = (2, 4),
+    zipf_alpha: float = 1.3,
+) -> np.ndarray:
+    """A string column drawn from a Zipf-weighted synthetic vocabulary."""
+    vocab = []
+    for i in range(vocabulary):
+        word_rng = np.random.default_rng(i * 7919 + 13)
+        n = int(word_rng.integers(syllables[0], syllables[1] + 1))
+        parts = [_SYLLABLES[int(word_rng.integers(0, len(_SYLLABLES)))] for _ in range(n)]
+        vocab.append("".join(parts) + (str(i % 97) if i % 3 == 0 else ""))
+    weights = popularity_weights(rng, vocabulary, zipf_alpha)
+    idx = rng.choice(vocabulary, size=size, p=weights)
+    return np.array([vocab[i] for i in idx], dtype=object)
+
+
+def date_like_strings(rng: np.random.Generator, size: int, lo: int = 1950, hi: int = 2020) -> np.ndarray:
+    """Strings like ``"1994-1999"`` (the series_years column of IMDB)."""
+    start = rng.integers(lo, hi, size)
+    length = rng.integers(0, 12, size)
+    out = np.empty(size, dtype=object)
+    for i in range(size):
+        if length[i] == 0:
+            out[i] = ""
+        else:
+            out[i] = f"{start[i]}-{min(start[i] + length[i], hi)}"
+    return out

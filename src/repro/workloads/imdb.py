@@ -1,0 +1,346 @@
+"""Synthetic IMDB: the database under JOB-Light, JOB-LightRanges and JOB-M.
+
+16 tables mirroring the IMDB schema the paper evaluates on, with the skew
+and correlation structure of the real data (see ``generator.py``):
+
+* movie popularity is Zipf-distributed and *correlated with recency and
+  kind* — so predicates on ``title`` select systematically high- or
+  low-degree join values;
+* production year is strongly correlated with kind (TV episodes are
+  recent), which defeats per-column independence;
+* fact-table attributes (role, info type, company type) correlate with
+  the dimension rows they reference.
+
+``scale`` multiplies every table's row count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.schema import Schema
+from ..db.table import Table
+from .generator import (
+    correlated_int,
+    date_like_strings,
+    popularity_weights,
+    random_words,
+    weighted_keys,
+    zipf_keys,
+)
+
+__all__ = ["make_imdb", "JOB_LIGHT_TABLES", "JOB_M_TABLES"]
+
+JOB_LIGHT_TABLES = [
+    "title",
+    "cast_info",
+    "movie_info",
+    "movie_info_idx",
+    "movie_keyword",
+    "movie_companies",
+]
+
+JOB_M_TABLES = JOB_LIGHT_TABLES + [
+    "kind_type",
+    "info_type",
+    "keyword",
+    "company_name",
+    "company_type",
+    "name",
+    "role_type",
+    "aka_name",
+    "movie_link",
+    "link_type",
+]
+
+_KINDS = ["movie", "tv series", "tv movie", "video movie", "episode", "video game", "short"]
+_ROLES = [
+    "actor", "actress", "producer", "writer", "cinematographer", "composer",
+    "costume designer", "director", "editor", "miscellaneous crew", "production designer", "guest",
+]
+_COMPANY_KINDS = ["production companies", "distributors", "special effects", "miscellaneous"]
+_LINKS = ["sequel", "prequel", "remake", "spin off", "follows", "version of"]
+_COUNTRIES = ["[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]", "[it]", "[ca]", "[es]", "[se]"]
+_INFO_KINDS = ["genres", "countries", "languages", "rating", "votes", "budget", "runtime"]
+
+
+def _imdb_schema() -> Schema:
+    schema = Schema()
+    # Several foreign-key columns double as predicate targets in JOB-Light
+    # (role_id, info_type_id, ...), so they are declared as both join and
+    # filter columns — the paper notes a column can be both (Sec 3.1).
+    schema.add_table(
+        "title",
+        primary_key="id",
+        join_columns=["id", "kind_id"],
+        filter_columns=[
+            "kind_id",
+            "production_year",
+            "episode_nr",
+            "season_nr",
+            "phonetic_code",
+            "series_years",
+            "imdb_index",
+        ],
+    )
+    schema.add_table("kind_type", primary_key="id", filter_columns=["kind"])
+    schema.add_table(
+        "cast_info",
+        join_columns=["movie_id", "person_id", "role_id"],
+        filter_columns=["role_id", "nr_order"],
+    )
+    schema.add_table("name", primary_key="id", filter_columns=["name", "gender"])
+    schema.add_table("role_type", primary_key="id", filter_columns=["role"])
+    schema.add_table(
+        "movie_info",
+        join_columns=["movie_id", "info_type_id"],
+        filter_columns=["info_type_id", "info"],
+    )
+    schema.add_table(
+        "movie_info_idx",
+        join_columns=["movie_id", "info_type_id"],
+        filter_columns=["info_type_id", "info"],
+    )
+    schema.add_table("info_type", primary_key="id", filter_columns=["info"])
+    schema.add_table(
+        "movie_keyword",
+        join_columns=["movie_id", "keyword_id"],
+        filter_columns=["keyword_id"],
+    )
+    schema.add_table("keyword", primary_key="id", filter_columns=["keyword"])
+    schema.add_table(
+        "movie_companies",
+        join_columns=["movie_id", "company_id", "company_type_id"],
+        filter_columns=["company_type_id", "note"],
+    )
+    schema.add_table(
+        "company_name", primary_key="id", filter_columns=["name", "country_code"]
+    )
+    schema.add_table("company_type", primary_key="id", filter_columns=["kind"])
+    schema.add_table("aka_name", join_columns=["person_id"], filter_columns=["name"])
+    schema.add_table(
+        "movie_link", join_columns=["movie_id", "linked_movie_id", "link_type_id"]
+    )
+    schema.add_table("link_type", primary_key="id", filter_columns=["link"])
+
+    schema.add_foreign_key("title", "kind_id", "kind_type", "id")
+    schema.add_foreign_key("cast_info", "movie_id", "title", "id")
+    schema.add_foreign_key("cast_info", "person_id", "name", "id")
+    schema.add_foreign_key("cast_info", "role_id", "role_type", "id")
+    schema.add_foreign_key("movie_info", "movie_id", "title", "id")
+    schema.add_foreign_key("movie_info", "info_type_id", "info_type", "id")
+    schema.add_foreign_key("movie_info_idx", "movie_id", "title", "id")
+    schema.add_foreign_key("movie_info_idx", "info_type_id", "info_type", "id")
+    schema.add_foreign_key("movie_keyword", "movie_id", "title", "id")
+    schema.add_foreign_key("movie_keyword", "keyword_id", "keyword", "id")
+    schema.add_foreign_key("movie_companies", "movie_id", "title", "id")
+    schema.add_foreign_key("movie_companies", "company_id", "company_name", "id")
+    schema.add_foreign_key("movie_companies", "company_type_id", "company_type", "id")
+    schema.add_foreign_key("aka_name", "person_id", "name", "id")
+    schema.add_foreign_key("movie_link", "movie_id", "title", "id")
+    schema.add_foreign_key("movie_link", "linked_movie_id", "title", "id")
+    schema.add_foreign_key("movie_link", "link_type_id", "link_type", "id")
+    return schema
+
+
+def make_imdb(scale: float = 1.0, seed: int = 1) -> Database:
+    """Build the synthetic IMDB instance."""
+    rng = np.random.default_rng(seed)
+    schema = _imdb_schema()
+    db = Database(schema)
+
+    n_title = max(int(6000 * scale), 50)
+    n_name = max(int(8000 * scale), 50)
+    n_keyword = max(int(1500 * scale), 20)
+    n_company = max(int(1200 * scale), 20)
+
+    # --- dimension tables -------------------------------------------------
+    db.add_table(
+        Table("kind_type", {"id": np.arange(len(_KINDS)), "kind": np.array(_KINDS, dtype=object)})
+    )
+    db.add_table(
+        Table("role_type", {"id": np.arange(len(_ROLES)), "role": np.array(_ROLES, dtype=object)})
+    )
+    db.add_table(
+        Table(
+            "company_type",
+            {"id": np.arange(len(_COMPANY_KINDS)), "kind": np.array(_COMPANY_KINDS, dtype=object)},
+        )
+    )
+    db.add_table(
+        Table("link_type", {"id": np.arange(len(_LINKS)), "link": np.array(_LINKS, dtype=object)})
+    )
+    info_kinds = np.array(
+        [_INFO_KINDS[i % len(_INFO_KINDS)] + (f" #{i // len(_INFO_KINDS)}" if i >= len(_INFO_KINDS) else "") for i in range(21)],
+        dtype=object,
+    )
+    db.add_table(Table("info_type", {"id": np.arange(len(info_kinds)), "info": info_kinds}))
+
+    # --- title ------------------------------------------------------------
+    kind_id = zipf_keys(rng, 1.7, n_title, len(_KINDS))
+    # TV kinds (1, 4) skew recent; movies span the century.
+    base_year = np.where(
+        np.isin(kind_id, [1, 4]),
+        rng.integers(1995, 2020, n_title),
+        rng.integers(1930, 2020, n_title),
+    )
+    production_year = correlated_int(rng, base_year, 1930, 2019, strength=0.95, noise=2)
+    is_episode = (kind_id == 4).astype(int)
+    episode_nr = np.where(is_episode, rng.integers(1, 25, n_title), 0)
+    season_nr = np.where(is_episode, np.clip(episode_nr // 5 + rng.integers(0, 3, n_title), 1, 30), 0)
+    phonetic_code = np.array(
+        [f"{chr(65 + int(k))}{int(p) % 625}" for k, p in zip(kind_id, rng.integers(0, 625, n_title))],
+        dtype=object,
+    )
+    series_years = date_like_strings(rng, n_title)
+    series_years[is_episode == 0] = ""
+    imdb_index = np.array(
+        [["", "I", "II", "III"][i] for i in rng.choice(4, n_title, p=[0.9, 0.06, 0.03, 0.01])],
+        dtype=object,
+    )
+    db.add_table(
+        Table(
+            "title",
+            {
+                "id": np.arange(n_title),
+                "kind_id": kind_id,
+                "production_year": production_year,
+                "episode_nr": episode_nr,
+                "season_nr": season_nr,
+                "phonetic_code": phonetic_code,
+                "series_years": series_years,
+                "imdb_index": imdb_index,
+            },
+        )
+    )
+    # Popularity: recent movies and low ids are more referenced.
+    recency = (production_year - production_year.min() + 1).astype(float)
+    popularity = popularity_weights(rng, n_title, 1.05) * (recency / recency.mean())
+    popularity /= popularity.sum()
+
+    # --- name / keyword / company_name ------------------------------------
+    person_name = random_words(rng, n_name, vocabulary=800, zipf_alpha=1.1)
+    gender = np.array(
+        [["m", "f", ""][i] for i in rng.choice(3, n_name, p=[0.55, 0.35, 0.10])], dtype=object
+    )
+    db.add_table(Table("name", {"id": np.arange(n_name), "name": person_name, "gender": gender}))
+    db.add_table(
+        Table(
+            "keyword",
+            {"id": np.arange(n_keyword), "keyword": random_words(rng, n_keyword, vocabulary=600, zipf_alpha=1.0)},
+        )
+    )
+    db.add_table(
+        Table(
+            "company_name",
+            {
+                "id": np.arange(n_company),
+                "name": random_words(rng, n_company, vocabulary=400, zipf_alpha=1.0),
+                "country_code": np.array(
+                    [_COUNTRIES[min(i * len(_COUNTRIES) // n_company, len(_COUNTRIES) - 1)] for i in range(n_company)],
+                    dtype=object,
+                ),
+            },
+        )
+    )
+
+    # --- fact tables --------------------------------------------------------
+    n_ci = max(int(30000 * scale), 100)
+    movie_id = weighted_keys(rng, popularity, n_ci)
+    person_pop = popularity_weights(rng, n_name, 1.2)
+    person_id = weighted_keys(rng, person_pop, n_ci)
+    # Role correlates with gender: actresses get role 1, actors role 0.
+    g = np.array([{"m": 0, "f": 1}.get(x, 2) for x in gender[person_id]], dtype=np.int64)
+    role_id = np.where(
+        rng.random(n_ci) < 0.7, np.clip(g, 0, 1), zipf_keys(rng, 1.4, n_ci, len(_ROLES))
+    )
+    db.add_table(
+        Table(
+            "cast_info",
+            {
+                "id": np.arange(n_ci),
+                "movie_id": movie_id,
+                "person_id": person_id,
+                "role_id": role_id,
+                "nr_order": rng.integers(0, 50, n_ci),
+            },
+        )
+    )
+
+    for tname, n_rows, info_alpha in (("movie_info", int(24000 * scale), 1.2), ("movie_info_idx", int(8000 * scale), 1.5)):
+        n_rows = max(n_rows, 60)
+        mid = weighted_keys(rng, popularity, n_rows)
+        itype = zipf_keys(rng, info_alpha, n_rows, len(info_kinds))
+        # Info text depends on the info type (correlated string content).
+        words = random_words(rng, n_rows, vocabulary=300, zipf_alpha=1.1)
+        info = np.array(
+            [f"{info_kinds[t].split()[0]}:{w}" for t, w in zip(itype, words)], dtype=object
+        )
+        db.add_table(
+            Table(
+                tname,
+                {"id": np.arange(n_rows), "movie_id": mid, "info_type_id": itype, "info": info},
+            )
+        )
+
+    n_mk = max(int(15000 * scale), 60)
+    # Popular keywords attach to popular movies: rank-correlated sampling.
+    mid = weighted_keys(rng, popularity, n_mk)
+    kw_pop = popularity_weights(rng, n_keyword, 1.15)
+    kw_rank = np.argsort(np.argsort(-popularity)[mid])  # movie popularity rank per row
+    kid = weighted_keys(rng, kw_pop, n_mk)
+    boost = rng.random(n_mk) < 0.4
+    kid[boost] = (kw_rank[boost] * n_keyword // max(n_mk, 1)) % n_keyword
+    db.add_table(
+        Table("movie_keyword", {"id": np.arange(n_mk), "movie_id": mid, "keyword_id": kid})
+    )
+
+    n_mc = max(int(9000 * scale), 60)
+    mid = weighted_keys(rng, popularity, n_mc)
+    comp_pop = popularity_weights(rng, n_company, 1.2)
+    cid = weighted_keys(rng, comp_pop, n_mc)
+    ctype = np.where(cid < n_company // 4, 0, zipf_keys(rng, 1.5, n_mc, len(_COMPANY_KINDS)))
+    note = np.array(
+        [f"(pres. {y})" if f else "" for y, f in zip(rng.integers(1950, 2020, n_mc), rng.random(n_mc) < 0.3)],
+        dtype=object,
+    )
+    db.add_table(
+        Table(
+            "movie_companies",
+            {
+                "id": np.arange(n_mc),
+                "movie_id": mid,
+                "company_id": cid,
+                "company_type_id": ctype,
+                "note": note,
+            },
+        )
+    )
+
+    n_an = max(int(5000 * scale), 40)
+    pid = weighted_keys(rng, person_pop, n_an)
+    db.add_table(
+        Table(
+            "aka_name",
+            {
+                "id": np.arange(n_an),
+                "person_id": pid,
+                "name": random_words(rng, n_an, vocabulary=800, zipf_alpha=1.1),
+            },
+        )
+    )
+
+    n_ml = max(int(2500 * scale), 30)
+    db.add_table(
+        Table(
+            "movie_link",
+            {
+                "id": np.arange(n_ml),
+                "movie_id": weighted_keys(rng, popularity, n_ml),
+                "linked_movie_id": weighted_keys(rng, popularity, n_ml),
+                "link_type_id": zipf_keys(rng, 1.5, n_ml, len(_LINKS)),
+            },
+        )
+    )
+    return db

@@ -1,0 +1,99 @@
+"""JOB-Light: 70 star queries over 6 IMDB tables (Kipf et al. 2019).
+
+Each query joins ``title`` with 1-4 of the five fact tables on
+``movie_id = title.id`` (2-5 relations total) and applies 1-4 predicates
+on *numeric* columns, mirroring the benchmark the paper evaluates.
+Queries are generated with a fixed seed, drawing predicate constants from
+the actual data so selectivities span several orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.predicates import And, Eq, Range
+from ..db.database import Database
+from ..db.query import Query
+from .generator import Workload
+from .imdb import make_imdb
+
+__all__ = ["make_job_light", "FACT_TABLES"]
+
+FACT_TABLES = {
+    "ci": "cast_info",
+    "mi": "movie_info",
+    "mi_idx": "movie_info_idx",
+    "mk": "movie_keyword",
+    "mc": "movie_companies",
+}
+
+# alias -> list of (column, kind) numeric predicate targets
+_NUMERIC_PREDICATES = {
+    "t": [("production_year", "range"), ("kind_id", "eq"), ("episode_nr", "range"), ("season_nr", "eq")],
+    "ci": [("role_id", "eq"), ("nr_order", "range")],
+    "mi": [("info_type_id", "eq")],
+    "mi_idx": [("info_type_id", "eq")],
+    "mk": [("keyword_id", "eq")],
+    "mc": [("company_type_id", "eq")],
+}
+
+
+def _numeric_predicate(rng: np.random.Generator, db: Database, table: str, column: str, kind: str):
+    values = db.table(table).column(column)
+    if kind == "eq":
+        return Eq(column, int(values[rng.integers(0, len(values))]))
+    lo_v, hi_v = int(values.min()), int(values.max())
+    if rng.random() < 0.4:
+        # one-sided comparison
+        pivot = int(values[rng.integers(0, len(values))])
+        if rng.random() < 0.5:
+            return Range(column, low=pivot)
+        return Range(column, high=pivot)
+    a = int(rng.integers(lo_v, hi_v + 1))
+    b = a + int(rng.integers(0, max((hi_v - lo_v) // 4, 2)))
+    return Range(column, low=a, high=b)
+
+
+def generate_job_light_queries(
+    db: Database, num_queries: int = 70, seed: int = 20
+) -> list[Query]:
+    rng = np.random.default_rng(seed)
+    queries: list[Query] = []
+    aliases = list(FACT_TABLES)
+    while len(queries) < num_queries:
+        q = Query(name=f"job_light_{len(queries):03d}")
+        q.add_relation("t", "title")
+        num_facts = int(rng.integers(1, 5))
+        chosen = list(rng.choice(aliases, size=num_facts, replace=False))
+        for alias in chosen:
+            q.add_relation(alias, FACT_TABLES[alias])
+            q.add_join(alias, "movie_id", "t", "id")
+        num_preds = int(rng.integers(1, 5))
+        pool = [("t", c, k) for c, k in _NUMERIC_PREDICATES["t"]]
+        for alias in chosen:
+            pool += [(alias, c, k) for c, k in _NUMERIC_PREDICATES[alias]]
+        rng.shuffle(pool)
+        per_alias: dict[str, list] = {}
+        used = set()
+        for alias, column, kind in pool[:num_preds]:
+            if (alias, column) in used:
+                continue
+            used.add((alias, column))
+            pred = _numeric_predicate(rng, db, q.relations[alias], column, kind)
+            per_alias.setdefault(alias, []).append(pred)
+        for alias, preds in per_alias.items():
+            q.add_predicate(alias, preds[0] if len(preds) == 1 else And(preds))
+        queries.append(q)
+    return queries
+
+
+def make_job_light(
+    db: Database | None = None,
+    scale: float = 1.0,
+    num_queries: int = 70,
+    seed: int = 1,
+) -> Workload:
+    """The JOB-Light workload (pass a shared IMDB ``db`` to reuse it)."""
+    db = db if db is not None else make_imdb(scale=scale, seed=seed)
+    queries = generate_job_light_queries(db, num_queries, seed + 19)
+    return Workload("JOB-Light", db, queries)

@@ -1,0 +1,105 @@
+"""JOB-LightRanges: 1000 queries over the JOB-Light tables with additional
+columns and *string* predicates (Sec 5, Datasets).
+
+Relative to JOB-Light it adds range predicates over the episode/season
+columns and equality/LIKE predicates over ``phonetic_code``,
+``series_years`` and ``imdb_index`` — the workload that exercises
+SafeBound's trigram statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.predicates import And, Eq, Like, Predicate
+from ..db.database import Database
+from ..db.query import Query
+from .generator import Workload
+from .imdb import make_imdb
+from .job_light import FACT_TABLES, _NUMERIC_PREDICATES, _numeric_predicate
+
+__all__ = ["make_job_light_ranges"]
+
+_STRING_PREDICATES = {
+    "t": ["phonetic_code", "series_years", "imdb_index"],
+    "mi": ["info"],
+    "mi_idx": ["info"],
+    "mc": ["note"],
+}
+
+
+def _string_predicate(
+    rng: np.random.Generator, db: Database, table: str, column: str
+) -> Predicate:
+    values = db.table(table).column(column)
+    value = ""
+    for _ in range(10):
+        value = values[rng.integers(0, len(values))]
+        if isinstance(value, str) and value:
+            break
+    if not isinstance(value, str) or not value:
+        value = "I"
+    if rng.random() < 0.8 and len(value) >= 3:
+        # Short (3-4 char) substrings keep LIKE selectivity moderate, as in
+        # the real benchmark where patterns match many titles.
+        start = int(rng.integers(0, max(len(value) - 3, 1)))
+        length = int(rng.integers(3, min(len(value) - start, 4) + 1))
+        return Like(column, value[start : start + length])
+    return Eq(column, value)
+
+
+def generate_job_light_ranges_queries(
+    db: Database, num_queries: int = 1000, seed: int = 40
+) -> list[Query]:
+    rng = np.random.default_rng(seed)
+    queries: list[Query] = []
+    aliases = list(FACT_TABLES)
+    while len(queries) < num_queries:
+        q = Query(name=f"job_light_ranges_{len(queries):04d}")
+        q.add_relation("t", "title")
+        num_facts = int(rng.integers(1, 5))
+        chosen = list(rng.choice(aliases, size=num_facts, replace=False))
+        for alias in chosen:
+            q.add_relation(alias, FACT_TABLES[alias])
+            q.add_join(alias, "movie_id", "t", "id")
+        per_alias: dict[str, list] = {}
+        used = set()
+        num_numeric = int(rng.integers(1, 4))
+        pool = [("t", c, k) for c, k in _NUMERIC_PREDICATES["t"]]
+        for alias in chosen:
+            pool += [(alias, c, k) for c, k in _NUMERIC_PREDICATES[alias]]
+        rng.shuffle(pool)
+        for alias, column, kind in pool[:num_numeric]:
+            if (alias, column) in used:
+                continue
+            used.add((alias, column))
+            pred = _numeric_predicate(rng, db, q.relations[alias], column, kind)
+            per_alias.setdefault(alias, []).append(pred)
+        # At least one string predicate distinguishes this workload.
+        spool = [("t", c) for c in _STRING_PREDICATES["t"]]
+        for alias in chosen:
+            spool += [(alias, c) for c in _STRING_PREDICATES.get(alias, [])]
+        rng.shuffle(spool)
+        num_string = int(rng.integers(1, 3))
+        for alias, column in spool[:num_string]:
+            if (alias, column) in used:
+                continue
+            used.add((alias, column))
+            pred = _string_predicate(rng, db, q.relations[alias], column)
+            per_alias.setdefault(alias, []).append(pred)
+        for alias, preds in per_alias.items():
+            q.add_predicate(alias, preds[0] if len(preds) == 1 else And(preds))
+        queries.append(q)
+    return queries
+
+
+def make_job_light_ranges(
+    db: Database | None = None,
+    scale: float = 1.0,
+    num_queries: int = 1000,
+    seed: int = 1,
+) -> Workload:
+    """The JOB-LightRanges workload (1000 queries at paper scale)."""
+    db = db if db is not None else make_imdb(scale=scale, seed=seed)
+    queries = generate_job_light_ranges_queries(db, num_queries, seed + 41)
+    return Workload("JOB-LightRanges", db, queries)

@@ -1,0 +1,132 @@
+"""JOB-M: 113 queries over all 16 IMDB tables (Sec 5, Datasets).
+
+The most complex IMDB workload: star-and-snowflake joins reaching through
+dimension tables (``kind_type``, ``info_type``, ``keyword``,
+``company_name``, ``name``, ``role_type``), with IN and LIKE predicates.
+This exercises SafeBound's PK-FK statistics propagation (Sec 4.2): a
+predicate on ``keyword.keyword`` conditions ``movie_keyword``'s degree
+sequences directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.predicates import And, Eq, InList, Like, Range
+from ..db.database import Database
+from ..db.query import Query
+from .generator import Workload
+from .imdb import make_imdb
+
+__all__ = ["make_job_m"]
+
+# (fact alias, fact table, fk column, dim alias, dim table, dim pk)
+_DIM_EDGES = {
+    "ci": [("person_id", "n", "name", "id"), ("role_id", "rt", "role_type", "id")],
+    "mi": [("info_type_id", "it", "info_type", "id")],
+    "mi_idx": [("info_type_id", "it2", "info_type", "id")],
+    "mk": [("keyword_id", "k", "keyword", "id")],
+    "mc": [("company_id", "cn", "company_name", "id"), ("company_type_id", "ct", "company_type", "id")],
+}
+
+_FACTS = {
+    "ci": "cast_info",
+    "mi": "movie_info",
+    "mi_idx": "movie_info_idx",
+    "mk": "movie_keyword",
+    "mc": "movie_companies",
+}
+
+
+def _sample_string(rng: np.random.Generator, db: Database, table: str, column: str) -> str:
+    values = db.table(table).column(column)
+    for _ in range(10):
+        v = values[rng.integers(0, len(values))]
+        if isinstance(v, str) and v:
+            return v
+    return "the"
+
+
+def _dim_predicate(rng: np.random.Generator, db: Database, dim_table: str):
+    if dim_table == "kind_type":
+        kinds = db.table("kind_type").column("kind")
+        n = int(rng.integers(1, 4))
+        picks = list({str(kinds[rng.integers(0, len(kinds))]) for _ in range(n)})
+        return InList("kind", picks) if len(picks) > 1 else Eq("kind", picks[0])
+    if dim_table == "info_type":
+        infos = db.table("info_type").column("info")
+        return Eq("info", str(infos[rng.integers(0, len(infos))]))
+    if dim_table == "keyword":
+        word = _sample_string(rng, db, "keyword", "keyword")
+        return Like("keyword", word[: max(3, len(word) // 2)])
+    if dim_table == "company_name":
+        if rng.random() < 0.5:
+            codes = db.table("company_name").column("country_code")
+            return Eq("country_code", str(codes[rng.integers(0, len(codes))]))
+        word = _sample_string(rng, db, "company_name", "name")
+        return Like("name", word[: max(3, len(word) // 2)])
+    if dim_table == "company_type":
+        kinds = db.table("company_type").column("kind")
+        return Eq("kind", str(kinds[rng.integers(0, len(kinds))]))
+    if dim_table == "name":
+        if rng.random() < 0.5:
+            return Eq("gender", ["m", "f"][int(rng.integers(0, 2))])
+        word = _sample_string(rng, db, "name", "name")
+        return Like("name", word[: max(3, len(word) // 2)])
+    if dim_table == "role_type":
+        roles = db.table("role_type").column("role")
+        return Eq("role", str(roles[rng.integers(0, len(roles))]))
+    raise KeyError(dim_table)
+
+
+def generate_job_m_queries(db: Database, num_queries: int = 113, seed: int = 60) -> list[Query]:
+    rng = np.random.default_rng(seed)
+    queries: list[Query] = []
+    fact_aliases = list(_FACTS)
+    while len(queries) < num_queries:
+        q = Query(name=f"job_m_{len(queries):03d}")
+        q.add_relation("t", "title")
+        num_facts = int(rng.integers(2, 5))
+        chosen = list(rng.choice(fact_aliases, size=num_facts, replace=False))
+        dims_used = 0
+        for alias in chosen:
+            q.add_relation(alias, _FACTS[alias])
+            q.add_join(alias, "movie_id", "t", "id")
+            for fk_col, dim_alias, dim_table, dim_pk in _DIM_EDGES[alias]:
+                if dims_used >= 4 or rng.random() > 0.55:
+                    continue
+                if dim_alias in q.relations:
+                    continue
+                q.add_relation(dim_alias, dim_table)
+                q.add_join(alias, fk_col, dim_alias, dim_pk)
+                q.add_predicate(dim_alias, _dim_predicate(rng, db, dim_table))
+                dims_used += 1
+        # Optionally join through kind_type and filter on the kind string.
+        if rng.random() < 0.5:
+            q.add_relation("kt", "kind_type")
+            q.add_join("t", "kind_id", "kt", "id")
+            q.add_predicate("kt", _dim_predicate(rng, db, "kind_type"))
+        # Title-level numeric predicates.
+        if rng.random() < 0.8:
+            years = db.table("title").column("production_year")
+            lo = int(years[rng.integers(0, len(years))])
+            preds = [Range("production_year", low=lo, high=lo + int(rng.integers(3, 30)))]
+            if rng.random() < 0.3:
+                preds.append(Range("episode_nr", high=int(rng.integers(1, 20))))
+            q.add_predicate("t", preds[0] if len(preds) == 1 else And(preds))
+        if dims_used == 0:
+            continue  # JOB-M queries always reach at least one dimension
+        queries.append(q)
+    return queries
+
+
+def make_job_m(
+    db: Database | None = None,
+    scale: float = 1.0,
+    num_queries: int = 113,
+    seed: int = 1,
+) -> Workload:
+    """The JOB-M workload (113 queries over 16 tables at paper scale)."""
+    db = db if db is not None else make_imdb(scale=scale, seed=seed)
+    queries = generate_job_m_queries(db, num_queries, seed + 59)
+    return Workload("JOB-M", db, queries)

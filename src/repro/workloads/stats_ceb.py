@@ -1,0 +1,234 @@
+"""STATS-CEB: 146 queries over the Stats StackExchange schema (Sec 5).
+
+8 tables with *cyclic* PK-FK relationships: ``posts`` references
+``users``, and ``comments`` / ``votes`` / ``postHistory`` reference both
+``posts`` and ``users`` — so queries touching all three relations form
+triangles.  Predicates are numeric only, 2-16 per query, with 2-8 joined
+tables; a slice of the generated queries is genuinely cyclic, exercising
+SafeBound's spanning-tree bound (Sec 3.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.predicates import And, Eq, Range
+from ..db.database import Database
+from ..db.query import Query
+from ..db.schema import Schema
+from ..db.table import Table
+from .generator import Workload, correlated_int, weighted_keys, popularity_weights, zipf_keys
+
+__all__ = ["make_stats_ceb", "make_stats_db"]
+
+# alias -> (table, join spec)
+_TABLES = ["users", "posts", "comments", "votes", "badges", "postHistory", "postLinks", "tags"]
+
+_NUMERIC_PREDICATES = {
+    "users": [("reputation", "range"), ("upvotes", "range"), ("downvotes", "range"), ("creationdate", "range")],
+    "posts": [("score", "range"), ("viewcount", "range"), ("answercount", "eq"), ("posttypeid", "eq"), ("commentcount", "range"), ("creationdate", "range")],
+    "comments": [("score", "eq"), ("creationdate", "range")],
+    "votes": [("votetypeid", "eq"), ("bountyamount", "range"), ("creationdate", "range")],
+    "badges": [("date", "range")],
+    "postHistory": [("posthistorytypeid", "eq"), ("creationdate", "range")],
+    "postLinks": [("linktypeid", "eq"), ("creationdate", "range")],
+    "tags": [("count", "range")],
+}
+
+
+def make_stats_db(scale: float = 1.0, seed: int = 5) -> Database:
+    """Synthetic Stats StackExchange instance with a cyclic FK graph."""
+    rng = np.random.default_rng(seed)
+    schema = Schema()
+    schema.add_table("users", primary_key="id", filter_columns=["reputation", "upvotes", "downvotes", "creationdate"])
+    schema.add_table(
+        "posts",
+        primary_key="id",
+        join_columns=["id", "owneruserid"],
+        filter_columns=["score", "viewcount", "answercount", "posttypeid", "commentcount", "creationdate"],
+    )
+    schema.add_table("comments", join_columns=["postid", "userid"], filter_columns=["score", "creationdate"])
+    schema.add_table("votes", join_columns=["postid", "userid"], filter_columns=["votetypeid", "bountyamount", "creationdate"])
+    schema.add_table("badges", join_columns=["userid"], filter_columns=["date"])
+    schema.add_table("postHistory", join_columns=["postid", "userid"], filter_columns=["posthistorytypeid", "creationdate"])
+    schema.add_table("postLinks", join_columns=["postid", "relatedpostid"], filter_columns=["linktypeid", "creationdate"])
+    schema.add_table("tags", join_columns=["excerptpostid"], filter_columns=["count"])
+    schema.add_foreign_key("posts", "owneruserid", "users", "id")
+    schema.add_foreign_key("comments", "postid", "posts", "id")
+    schema.add_foreign_key("comments", "userid", "users", "id")
+    schema.add_foreign_key("votes", "postid", "posts", "id")
+    schema.add_foreign_key("votes", "userid", "users", "id")
+    schema.add_foreign_key("badges", "userid", "users", "id")
+    schema.add_foreign_key("postHistory", "postid", "posts", "id")
+    schema.add_foreign_key("postHistory", "userid", "users", "id")
+    schema.add_foreign_key("postLinks", "postid", "posts", "id")
+    schema.add_foreign_key("postLinks", "relatedpostid", "posts", "id")
+    schema.add_foreign_key("tags", "excerptpostid", "posts", "id")
+    db = Database(schema)
+
+    n_users = max(int(3000 * scale), 50)
+    n_posts = max(int(8000 * scale), 80)
+    # Dates are days since epoch; activity concentrates in later years.
+    user_date = rng.integers(0, 3000, n_users)
+    reputation = np.maximum(1, (rng.zipf(1.3, n_users) % 50000)).astype(np.int64)
+    upvotes = correlated_int(rng, reputation, 0, 5000, strength=0.85, noise=20)
+    downvotes = correlated_int(rng, upvotes, 0, 500, strength=0.7, noise=10)
+    db.add_table(Table("users", {
+        "id": np.arange(n_users), "reputation": reputation, "upvotes": upvotes,
+        "downvotes": downvotes, "creationdate": user_date,
+    }))
+
+    user_pop = popularity_weights(rng, n_users, 1.2)
+    owner = weighted_keys(rng, user_pop, n_posts)
+    post_date = np.minimum(user_date[owner] + rng.integers(0, 2000, n_posts), 5000)
+    score = (rng.zipf(1.6, n_posts) % 200).astype(np.int64)
+    viewcount = correlated_int(rng, score, 0, 100000, strength=0.8, noise=500)
+    answercount = np.where(rng.random(n_posts) < 0.6, rng.integers(0, 5, n_posts), 0)
+    posttypeid = zipf_keys(rng, 2.0, n_posts, 5) + 1
+    commentcount = correlated_int(rng, score, 0, 50, strength=0.6, noise=3)
+    db.add_table(Table("posts", {
+        "id": np.arange(n_posts), "owneruserid": owner, "score": score,
+        "viewcount": viewcount, "answercount": answercount, "posttypeid": posttypeid,
+        "commentcount": commentcount, "creationdate": post_date,
+    }))
+    post_pop = popularity_weights(rng, n_posts, 1.15)
+
+    def fact(name, n_rows, cols):
+        n_rows = max(int(n_rows * scale), 40)
+        base = {"id": np.arange(n_rows)}
+        base.update(cols(n_rows))
+        db.add_table(Table(name, base))
+
+    fact("comments", 18000, lambda n: {
+        "postid": weighted_keys(rng, post_pop, n),
+        "userid": weighted_keys(rng, user_pop, n),
+        "score": (rng.zipf(2.2, n) % 20).astype(np.int64),
+        "creationdate": rng.integers(500, 5000, n),
+    })
+    fact("votes", 25000, lambda n: {
+        "postid": weighted_keys(rng, post_pop, n),
+        "userid": weighted_keys(rng, user_pop, n),
+        "votetypeid": zipf_keys(rng, 1.8, n, 15) + 1,
+        "bountyamount": np.where(rng.random(n) < 0.05, rng.integers(50, 500, n), 0),
+        "creationdate": rng.integers(500, 5000, n),
+    })
+    fact("badges", 8000, lambda n: {
+        "userid": weighted_keys(rng, user_pop, n),
+        "date": rng.integers(0, 5000, n),
+    })
+    fact("postHistory", 15000, lambda n: {
+        "postid": weighted_keys(rng, post_pop, n),
+        "userid": weighted_keys(rng, user_pop, n),
+        "posthistorytypeid": zipf_keys(rng, 1.6, n, 30) + 1,
+        "creationdate": rng.integers(500, 5000, n),
+    })
+    fact("postLinks", 3000, lambda n: {
+        "postid": weighted_keys(rng, post_pop, n),
+        "relatedpostid": weighted_keys(rng, post_pop, n),
+        "linktypeid": zipf_keys(rng, 2.5, n, 3) + 1,
+        "creationdate": rng.integers(500, 5000, n),
+    })
+    fact("tags", 1000, lambda n: {
+        "excerptpostid": weighted_keys(rng, post_pop, n),
+        "count": (rng.zipf(1.4, n) % 10000).astype(np.int64),
+    })
+    return db
+
+
+_JOINS = {
+    # alias pairs and the columns joining them
+    ("posts", "users"): ("owneruserid", "id"),
+    ("comments", "posts"): ("postid", "id"),
+    ("comments", "users"): ("userid", "id"),
+    ("votes", "posts"): ("postid", "id"),
+    ("votes", "users"): ("userid", "id"),
+    ("badges", "users"): ("userid", "id"),
+    ("postHistory", "posts"): ("postid", "id"),
+    ("postHistory", "users"): ("userid", "id"),
+    ("postLinks", "posts"): ("postid", "id"),
+    ("tags", "posts"): ("excerptpostid", "id"),
+}
+
+
+def _predicate(rng: np.random.Generator, db: Database, table: str, column: str, kind: str):
+    values = db.table(table).column(column)
+    if kind == "eq":
+        return Eq(column, int(values[rng.integers(0, len(values))]))
+    # Pivot at a data quantile keeps one-sided ranges moderately selective.
+    quantile = float(rng.uniform(0.05, 0.95))
+    pivot = int(np.quantile(values.astype(float), quantile))
+    roll = rng.random()
+    if roll < 0.45:
+        return Range(column, low=pivot)
+    if roll < 0.9:
+        return Range(column, high=pivot)
+    return Range(column, low=pivot, high=pivot + int(rng.integers(1, max(int(values.max()) // 4, 2))))
+
+
+def generate_stats_queries(db: Database, num_queries: int = 146, seed: int = 80) -> list[Query]:
+    rng = np.random.default_rng(seed)
+    queries: list[Query] = []
+    while len(queries) < num_queries:
+        q = Query(name=f"stats_{len(queries):03d}")
+        num_tables = int(rng.integers(2, 7))
+        # Grow a connected table set over the schema's join pairs.
+        tables = {str(rng.choice(["posts", "users", "comments", "votes"]))}
+        candidates = list(_JOINS)
+        rng.shuffle(candidates)
+        while len(tables) < num_tables:
+            grown = False
+            for a, b in candidates:
+                if a in tables and b not in tables:
+                    tables.add(b)
+                    grown = True
+                elif b in tables and a not in tables:
+                    tables.add(a)
+                    grown = True
+                if len(tables) >= num_tables:
+                    break
+            if not grown:
+                break
+        for t in sorted(tables):
+            q.add_relation(t, t)
+        for (a, b), (ca, cb) in _JOINS.items():
+            if a in tables and b in tables:
+                # Cyclic joins (e.g. comments-posts-users triangles) are kept
+                # with probability 0.8, making a slice of the workload cyclic.
+                q.add_join(a, ca, b, cb)
+        if len(q.joins) > len(tables) - 1 and rng.random() < 0.2:
+            # occasionally drop one edge to vary between cyclic and acyclic
+            q.joins.pop(int(rng.integers(0, len(q.joins))))
+            if not q.is_connected():
+                continue
+        num_preds = int(rng.integers(2, 7))
+        pool = []
+        for t in tables:
+            pool += [(t, c, k) for c, k in _NUMERIC_PREDICATES[t]]
+        rng.shuffle(pool)
+        per_alias: dict[str, list] = {}
+        used = set()
+        for alias, column, kind in pool[:num_preds]:
+            if (alias, column) in used:
+                continue
+            used.add((alias, column))
+            per_alias.setdefault(alias, []).append(
+                _predicate(rng, db, alias, column, kind)
+            )
+        for alias, preds in per_alias.items():
+            q.add_predicate(alias, preds[0] if len(preds) == 1 else And(preds))
+        if not q.is_connected():
+            continue
+        queries.append(q)
+    return queries
+
+
+def make_stats_ceb(
+    db: Database | None = None,
+    scale: float = 1.0,
+    num_queries: int = 146,
+    seed: int = 5,
+) -> Workload:
+    """The STATS-CEB workload (146 queries, cyclic schema, at paper scale)."""
+    db = db if db is not None else make_stats_db(scale=scale, seed=seed)
+    queries = generate_stats_queries(db, num_queries, seed + 79)
+    return Workload("STATS-CEB", db, queries)

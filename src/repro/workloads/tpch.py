@@ -1,0 +1,150 @@
+"""TPC-H-like generator for the scalability study (Fig 10, Sec 5.5).
+
+8 tables, 14 join columns, 46 filter columns and 9 PK-FK relationships at
+``scale_factor`` proportional row counts — exactly the structural facts
+the paper cites.  Fig 10 measures SafeBound's statistics construction time
+as the scale factor grows, with and without trigram (string) statistics;
+the data itself is uniform/independent, which is why the paper excludes it
+from the runtime benchmarks (footnote 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.schema import Schema
+from ..db.table import Table
+from .generator import Workload, random_words, zipf_keys
+from ..db.query import Query
+from ..core.predicates import Range
+
+__all__ = ["make_tpch", "make_tpch_db"]
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_STATUSES = ["F", "O", "P"]
+
+
+def make_tpch_db(scale_factor: float = 0.01, seed: int = 9) -> Database:
+    """A TPC-H instance; ``scale_factor=1.0`` would be dbgen's 1GB shape
+    (laptop-scaled: row counts are 1/100 of dbgen's per unit sf)."""
+    rng = np.random.default_rng(seed)
+    schema = Schema()
+    schema.add_table("region", primary_key="r_regionkey", filter_columns=["r_name", "r_comment"])
+    schema.add_table("nation", primary_key="n_nationkey", join_columns=["n_regionkey"], filter_columns=["n_name", "n_comment"])
+    schema.add_table("supplier", primary_key="s_suppkey", join_columns=["s_nationkey"], filter_columns=["s_acctbal", "s_name", "s_comment"])
+    schema.add_table("customer", primary_key="c_custkey", join_columns=["c_nationkey"], filter_columns=["c_acctbal", "c_mktsegment", "c_name", "c_comment"])
+    schema.add_table("part", primary_key="p_partkey", filter_columns=["p_size", "p_retailprice", "p_name", "p_comment"])
+    schema.add_table("partsupp", join_columns=["ps_partkey", "ps_suppkey"], filter_columns=["ps_availqty", "ps_supplycost", "ps_comment"])
+    schema.add_table("orders", primary_key="o_orderkey", join_columns=["o_custkey"], filter_columns=["o_totalprice", "o_orderdate", "o_orderpriority", "o_orderstatus", "o_comment"])
+    schema.add_table("lineitem", join_columns=["l_orderkey", "l_partkey", "l_suppkey"], filter_columns=["l_quantity", "l_extendedprice", "l_discount", "l_shipdate", "l_comment"])
+    schema.add_foreign_key("nation", "n_regionkey", "region", "r_regionkey")
+    schema.add_foreign_key("supplier", "s_nationkey", "nation", "n_nationkey")
+    schema.add_foreign_key("customer", "c_nationkey", "nation", "n_nationkey")
+    schema.add_foreign_key("partsupp", "ps_partkey", "part", "p_partkey")
+    schema.add_foreign_key("partsupp", "ps_suppkey", "supplier", "s_suppkey")
+    schema.add_foreign_key("orders", "o_custkey", "customer", "c_custkey")
+    schema.add_foreign_key("lineitem", "l_orderkey", "orders", "o_orderkey")
+    schema.add_foreign_key("lineitem", "l_partkey", "part", "p_partkey")
+    schema.add_foreign_key("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    db = Database(schema)
+
+    def comments(n):
+        return random_words(rng, n, vocabulary=250, zipf_alpha=1.0)
+
+    db.add_table(Table("region", {
+        "r_regionkey": np.arange(5),
+        "r_name": np.array(_REGIONS, dtype=object),
+        "r_comment": comments(5),
+    }))
+    db.add_table(Table("nation", {
+        "n_nationkey": np.arange(25),
+        "n_regionkey": rng.integers(0, 5, 25),
+        "n_name": random_words(rng, 25, vocabulary=25),
+        "n_comment": comments(25),
+    }))
+
+    n_supp = max(int(100 * scale_factor * 100), 10)
+    n_cust = max(int(1500 * scale_factor * 10), 15)
+    n_part = max(int(2000 * scale_factor * 10), 20)
+    n_ps = n_part * 4
+    n_ord = max(int(15000 * scale_factor * 10), 30)
+    n_li = n_ord * 4
+
+    db.add_table(Table("supplier", {
+        "s_suppkey": np.arange(n_supp),
+        "s_nationkey": rng.integers(0, 25, n_supp),
+        "s_acctbal": np.round(rng.uniform(-999, 9999, n_supp), 2),
+        "s_name": random_words(rng, n_supp, vocabulary=300),
+        "s_comment": comments(n_supp),
+    }))
+    db.add_table(Table("customer", {
+        "c_custkey": np.arange(n_cust),
+        "c_nationkey": rng.integers(0, 25, n_cust),
+        "c_acctbal": np.round(rng.uniform(-999, 9999, n_cust), 2),
+        "c_mktsegment": np.array([_SEGMENTS[i] for i in rng.integers(0, 5, n_cust)], dtype=object),
+        "c_name": random_words(rng, n_cust, vocabulary=300),
+        "c_comment": comments(n_cust),
+    }))
+    db.add_table(Table("part", {
+        "p_partkey": np.arange(n_part),
+        "p_size": rng.integers(1, 51, n_part),
+        "p_retailprice": np.round(rng.uniform(900, 2000, n_part), 2),
+        "p_name": random_words(rng, n_part, vocabulary=400),
+        "p_comment": comments(n_part),
+    }))
+    db.add_table(Table("partsupp", {
+        "id": np.arange(n_ps),
+        "ps_partkey": np.repeat(np.arange(n_part), 4),
+        "ps_suppkey": rng.integers(0, n_supp, n_ps),
+        "ps_availqty": rng.integers(1, 10000, n_ps),
+        "ps_supplycost": np.round(rng.uniform(1, 1000, n_ps), 2),
+        "ps_comment": comments(n_ps),
+    }))
+    db.add_table(Table("orders", {
+        "o_orderkey": np.arange(n_ord),
+        "o_custkey": zipf_keys(rng, 1.1, n_ord, n_cust),
+        "o_totalprice": np.round(rng.uniform(900, 500000, n_ord), 2),
+        "o_orderdate": rng.integers(8036, 10592, n_ord),  # days
+        "o_orderpriority": np.array([_PRIORITIES[i] for i in rng.integers(0, 5, n_ord)], dtype=object),
+        "o_orderstatus": np.array([_STATUSES[i] for i in rng.integers(0, 3, n_ord)], dtype=object),
+        "o_comment": comments(n_ord),
+    }))
+    db.add_table(Table("lineitem", {
+        "id": np.arange(n_li),
+        "l_orderkey": np.repeat(np.arange(n_ord), 4),
+        "l_partkey": rng.integers(0, n_part, n_li),
+        "l_suppkey": rng.integers(0, n_supp, n_li),
+        "l_quantity": rng.integers(1, 51, n_li),
+        "l_extendedprice": np.round(rng.uniform(900, 100000, n_li), 2),
+        "l_discount": np.round(rng.uniform(0, 0.1, n_li), 2),
+        "l_shipdate": rng.integers(8036, 10592, n_li),
+        "l_comment": comments(n_li),
+    }))
+    return db
+
+
+def generate_tpch_queries(db: Database, num_queries: int = 20, seed: int = 90) -> list[Query]:
+    """Simple validation queries (the paper uses TPC-H only for Fig 10)."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for i in range(num_queries):
+        q = Query(name=f"tpch_{i:02d}")
+        q.add_relation("l", "lineitem").add_relation("o", "orders")
+        q.add_join("l", "l_orderkey", "o", "o_orderkey")
+        if rng.random() < 0.5:
+            q.add_relation("c", "customer")
+            q.add_join("o", "o_custkey", "c", "c_custkey")
+        date = int(rng.integers(8036, 10592))
+        q.add_predicate("o", Range("o_orderdate", low=date, high=date + int(rng.integers(30, 400))))
+        if rng.random() < 0.5:
+            q.add_predicate("l", Range("l_quantity", high=int(rng.integers(5, 40))))
+        queries.append(q)
+    return queries
+
+
+def make_tpch(scale_factor: float = 0.01, num_queries: int = 20, seed: int = 9) -> Workload:
+    db = make_tpch_db(scale_factor, seed)
+    return Workload(f"TPC-H(sf={scale_factor})", db, generate_tpch_queries(db, num_queries, seed + 1))

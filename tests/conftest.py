@@ -1,0 +1,70 @@
+"""Shared fixtures: small seeded databases reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.db.table import Table
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """A 3-table star (dim <- fact, fact2) with skew and correlations."""
+    rng = np.random.default_rng(7)
+    n_dim, n_fact = 300, 3000
+    schema = Schema()
+    schema.add_table("dim", primary_key="id", filter_columns=["year", "kind", "name"])
+    schema.add_table(
+        "fact", join_columns=["dim_id"], filter_columns=["score", "tag"]
+    )
+    schema.add_table("fact2", join_columns=["dim_id"], filter_columns=["tag"])
+    schema.add_foreign_key("fact", "dim_id", "dim", "id")
+    schema.add_foreign_key("fact2", "dim_id", "dim", "id")
+    db = Database(schema)
+    kind = rng.integers(0, 5, n_dim)
+    year = 1950 + kind * 12 + rng.integers(0, 15, n_dim)
+    words = ["alpha", "beta", "gamma", "delta", "Abdul", "Quixote", "omega"]
+    name = np.array([words[i % len(words)] + str(i % 23) for i in range(n_dim)], dtype=object)
+    db.add_table(Table("dim", {"id": np.arange(n_dim), "year": year, "kind": kind, "name": name}))
+    fk = (rng.zipf(1.5, n_fact) - 1) % n_dim
+    db.add_table(
+        Table(
+            "fact",
+            {
+                "id": np.arange(n_fact),
+                "dim_id": fk,
+                "score": rng.integers(0, 40, n_fact),
+                "tag": rng.integers(0, 8, n_fact),
+            },
+        )
+    )
+    fk2 = (rng.zipf(1.8, n_fact // 2) - 1) % n_dim
+    db.add_table(
+        Table(
+            "fact2",
+            {"id": np.arange(n_fact // 2), "dim_id": fk2, "tag": rng.integers(0, 8, n_fact // 2)},
+        )
+    )
+    return db
+
+
+@pytest.fixture(scope="session")
+def small_imdb():
+    from repro.workloads import make_imdb
+
+    return make_imdb(scale=0.05, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_stats():
+    from repro.workloads import make_stats_db
+
+    return make_stats_db(scale=0.05, seed=3)

@@ -1,0 +1,48 @@
+"""Tests for the Bloom filter (Sec 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(100)
+        items = [f"value_{i}" for i in range(100)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_is_low(self):
+        bloom = BloomFilter(500)
+        for i in range(500):
+            bloom.add(("member", i))
+        false_positives = sum(("other", i) in bloom for i in range(5000))
+        # ~12 bits/value gives well under 5% in practice
+        assert false_positives / 5000 < 0.05
+
+    def test_mixed_types(self):
+        bloom = BloomFilter(10)
+        for item in (1, 1.5, "one", ("a", 2), None):
+            bloom.add(item)
+            assert item in bloom
+
+    def test_memory_is_about_12_bits_per_value(self):
+        bloom = BloomFilter(1000)
+        assert bloom.memory_bytes() == 1500  # 12000 bits
+
+    def test_empty_filter_rejects(self):
+        bloom = BloomFilter(10)
+        assert "anything" not in bloom
+
+    @given(st.lists(st.integers(), min_size=1, max_size=200, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_membership_property(self, items):
+        bloom = BloomFilter(len(items))
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)

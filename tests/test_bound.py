@@ -1,0 +1,224 @@
+"""FDSB engine tests: Algorithm 2 against the materialised worst case.
+
+With *exact* (lossless) degree sequences, the FDSB must equal the DSB —
+the size of the query on the worst-case instance W(s) (Theorem 2.1) — and
+must upper-bound the query's size on the original instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bound import FdsbEngine, worst_case_instance_column
+from repro.core.compression import valid_compress
+from repro.core.degree_sequence import DegreeSequence
+from repro.db.database import Database
+from repro.db.executor import Executor
+from repro.db.query import Query
+from repro.db.schema import Schema
+from repro.db.table import Table
+
+
+def _make_db(tables: dict[str, dict[str, np.ndarray]]) -> Database:
+    schema = Schema()
+    db = Database(schema)
+    for name, cols in tables.items():
+        schema.add_table(name, join_columns=list(cols))
+        db.add_table(Table(name, cols))
+    return db
+
+
+def _exact_cds(db, query):
+    cds, cards = {}, {}
+    for alias, tname in query.relations.items():
+        table = db.table(tname)
+        cards[alias] = float(table.num_rows)
+        for col in query.join_columns_of(alias):
+            cds[(alias, col)] = DegreeSequence.from_column(table.column(col)).to_cds()
+    return cds, cards
+
+
+def _worst_case_db(db, query):
+    schema = Schema()
+    wdb = Database(schema)
+    for tname in set(query.relations.values()):
+        table = db.table(tname)
+        cols = {}
+        for col in table.column_names:
+            ds = DegreeSequence.from_column(table.column(col))
+            cols[col] = worst_case_instance_column(ds.expand())
+        schema.add_table(tname, join_columns=list(cols))
+        wdb.add_table(Table(tname, cols))
+    return wdb
+
+
+class TestWorstCaseInstance:
+    def test_column_construction(self):
+        col = worst_case_instance_column(np.array([3, 2, 1]))
+        assert col.tolist() == [1, 1, 1, 2, 2, 3]
+
+    def test_worst_case_preserves_degree_sequence(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 20, 200)
+        ds = DegreeSequence.from_column(values)
+        wc = worst_case_instance_column(ds.expand())
+        assert (
+            DegreeSequence.from_column(wc).expand().tolist() == ds.expand().tolist()
+        )
+
+
+@pytest.mark.parametrize("trial", range(8))
+class TestChainQueries:
+    def test_fdsb_equals_dsb_on_chain(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        nr, ns, nt = rng.integers(5, 60, 3)
+        db = _make_db(
+            {
+                "R": {"x": rng.integers(0, 6, nr)},
+                "S": {"x": rng.integers(0, 6, ns), "y": rng.integers(0, 5, ns)},
+                "T": {"y": rng.integers(0, 5, nt)},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+        q.add_join("r", "x", "s", "x").add_join("s", "y", "t", "y")
+        true_card = Executor(db).cardinality(q)
+        dsb = Executor(_worst_case_db(db, q)).cardinality(q)
+        cds, cards = _exact_cds(db, q)
+        fdsb = FdsbEngine().bound(q, cds, cards)
+        assert fdsb >= true_card - 1e-6
+        assert fdsb == pytest.approx(dsb, rel=1e-9, abs=1e-6)
+
+
+@pytest.mark.parametrize("trial", range(6))
+class TestStarQueries:
+    def test_fdsb_equals_dsb_on_star(self, trial):
+        rng = np.random.default_rng(200 + trial)
+        sizes = rng.integers(5, 50, 3)
+        db = _make_db(
+            {
+                "R": {"x": rng.integers(0, 6, sizes[0])},
+                "S": {"x": rng.integers(0, 6, sizes[1])},
+                "U": {"x": rng.integers(0, 6, sizes[2])},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("u", "U")
+        q.add_join("r", "x", "s", "x").add_join("s", "x", "u", "x")
+        true_card = Executor(db).cardinality(q)
+        dsb = Executor(_worst_case_db(db, q)).cardinality(q)
+        cds, cards = _exact_cds(db, q)
+        fdsb = FdsbEngine().bound(q, cds, cards)
+        assert fdsb >= true_card - 1e-6
+        assert fdsb == pytest.approx(dsb, rel=1e-9, abs=1e-6)
+
+
+@pytest.mark.parametrize("trial", range(6))
+class TestCyclicQueries:
+    def test_triangle_bound_holds(self, trial):
+        rng = np.random.default_rng(300 + trial)
+        n = int(rng.integers(10, 40))
+        db = _make_db(
+            {
+                "R": {"x": rng.integers(0, 5, n), "y": rng.integers(0, 5, n)},
+                "S": {"y": rng.integers(0, 5, n), "z": rng.integers(0, 5, n)},
+                "T": {"z": rng.integers(0, 5, n), "x": rng.integers(0, 5, n)},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+        q.add_join("r", "y", "s", "y").add_join("s", "z", "t", "z").add_join("t", "x", "r", "x")
+        assert not q.is_berge_acyclic()
+        true_card = Executor(db).cardinality(q)
+        cds, cards = _exact_cds(db, q)
+        fdsb = FdsbEngine().bound(q, cds, cards)
+        assert fdsb >= true_card - 1e-6
+
+    def test_cyclic_min_over_spanning_trees_tighter_than_any_single(self, trial):
+        rng = np.random.default_rng(400 + trial)
+        n = int(rng.integers(10, 30))
+        db = _make_db(
+            {
+                "R": {"x": rng.integers(0, 4, n), "y": rng.integers(0, 4, n)},
+                "S": {"y": rng.integers(0, 4, n), "z": rng.integers(0, 4, n)},
+                "T": {"z": rng.integers(0, 4, n), "x": rng.integers(0, 4, n)},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+        q.add_join("r", "y", "s", "y").add_join("s", "z", "t", "z").add_join("t", "x", "r", "x")
+        cds, cards = _exact_cds(db, q)
+        full = FdsbEngine().bound(q, cds, cards)
+        # Bound of each spanning tree (drop one join) is >= the cyclic min.
+        for drop in range(3):
+            q2 = Query(
+                relations=dict(q.relations),
+                joins=[j for i, j in enumerate(q.joins) if i != drop],
+                predicates={},
+            )
+            cds2, cards2 = _exact_cds(db, q2)
+            tree_bound = FdsbEngine().bound(q2, cds2, cards2)
+            assert full <= tree_bound + 1e-6 * (1 + tree_bound)
+
+
+class TestEdgeCases:
+    def test_single_relation(self):
+        db = _make_db({"R": {"x": np.arange(10)}})
+        q = Query()
+        q.add_relation("r", "R")
+        cds, cards = _exact_cds(db, q)
+        assert FdsbEngine().bound(q, cds, cards) == pytest.approx(10.0)
+
+    def test_empty_relation_gives_zero(self):
+        db = _make_db(
+            {"R": {"x": np.array([], dtype=np.int64)}, "S": {"x": np.arange(5)}}
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S")
+        q.add_join("r", "x", "s", "x")
+        cds, cards = _exact_cds(db, q)
+        assert FdsbEngine().bound(q, cds, cards) == 0.0
+
+    def test_compression_weakens_monotonically(self):
+        rng = np.random.default_rng(9)
+        db = _make_db(
+            {
+                "R": {"x": (rng.zipf(1.4, 2000) - 1) % 100},
+                "S": {"x": (rng.zipf(1.6, 3000) - 1) % 100, "y": rng.integers(0, 50, 3000)},
+                "T": {"y": rng.integers(0, 50, 800)},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+        q.add_join("r", "x", "s", "x").add_join("s", "y", "t", "y")
+        cds, cards = _exact_cds(db, q)
+        exact_bound = FdsbEngine().bound(q, cds, cards)
+        compressed = {}
+        for (alias, col) in cds:
+            table = db.table(q.relations[alias])
+            ds = DegreeSequence.from_column(table.column(col))
+            compressed[(alias, col)] = valid_compress(ds, 0.05)
+        compressed_bound = FdsbEngine().bound(q, compressed, cards)
+        true_card = Executor(db).cardinality(q)
+        assert true_card <= exact_bound + 1e-6
+        assert exact_bound <= compressed_bound + 1e-6 * compressed_bound
+
+    def test_multi_column_join_is_bounded_by_single_column(self):
+        """Sec 3.6: with parallel join conditions between two relations, the
+        bound uses the tighter column and stays an upper bound."""
+        rng = np.random.default_rng(10)
+        n = 200
+        db = _make_db(
+            {
+                "R": {"x": rng.integers(0, 10, n), "y": rng.integers(0, 10, n)},
+                "S": {"x": rng.integers(0, 10, n), "y": rng.integers(0, 10, n)},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S")
+        q.add_join("r", "x", "s", "x").add_join("r", "y", "s", "y")
+        true_card = Executor(db).cardinality(q)
+        cds, cards = _exact_cds(db, q)
+        bound = FdsbEngine().bound(q, cds, cards)
+        assert bound >= true_card - 1e-6

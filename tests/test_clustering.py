@@ -1,0 +1,100 @@
+"""Tests for CDS group compression (Sec 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_cds, group_maxima, self_join_distance
+from repro.core.degree_sequence import DegreeSequence
+
+
+def _cds_family(seed: int = 0, n: int = 24):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        size = int(rng.integers(5, 500))
+        freqs = rng.zipf(1.5, size) % 100 + 1
+        out.append(DegreeSequence.from_frequencies(freqs).to_cds())
+    return out
+
+
+class TestSelfJoinDistance:
+    def test_identical_functions_have_zero_distance(self):
+        cds = DegreeSequence.from_frequencies(np.array([5, 3, 1])).to_cds()
+        assert self_join_distance(cds, cds) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        fam = _cds_family(1, 6)
+        for i in range(len(fam)):
+            for j in range(len(fam)):
+                assert self_join_distance(fam[i], fam[j]) == pytest.approx(
+                    self_join_distance(fam[j], fam[i]), rel=1e-9
+                )
+
+    def test_nonnegative(self):
+        fam = _cds_family(2, 8)
+        for i in range(len(fam)):
+            for j in range(i + 1, len(fam)):
+                assert self_join_distance(fam[i], fam[j]) >= 0.0
+
+    def test_dissimilar_functions_are_far(self):
+        small = DegreeSequence.from_frequencies(np.array([1, 1])).to_cds()
+        big = DegreeSequence.from_frequencies(np.array([1000] * 50)).to_cds()
+        near = DegreeSequence.from_frequencies(np.array([1, 1, 1])).to_cds()
+        assert self_join_distance(small, big) > self_join_distance(small, near)
+
+
+class TestClusterCds:
+    @pytest.mark.parametrize("method", ["complete", "single", "naive"])
+    def test_labels_shape(self, method):
+        fam = _cds_family(3, 20)
+        labels = cluster_cds(fam, 5, method)
+        assert len(labels) == 20
+        assert len(np.unique(labels)) <= 5
+
+    def test_fewer_members_than_clusters(self):
+        fam = _cds_family(4, 3)
+        labels = cluster_cds(fam, 10)
+        assert sorted(labels.tolist()) == [0, 1, 2]
+
+    def test_empty(self):
+        assert len(cluster_cds([], 4)) == 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            cluster_cds(_cds_family(5, 4), 2, "kmeans")
+
+
+class TestGroupMaxima:
+    def test_representative_dominates_members(self):
+        fam = _cds_family(6, 18)
+        labels = cluster_cds(fam, 4)
+        reps, remap = group_maxima(fam, labels)
+        for i, cds in enumerate(fam):
+            assert reps[remap[i]].dominates(cds)
+
+    def test_representatives_are_concave(self):
+        fam = _cds_family(7, 12)
+        labels = cluster_cds(fam, 3)
+        reps, _ = group_maxima(fam, labels)
+        for rep in reps:
+            assert rep.is_concave()
+
+    def test_complete_linkage_beats_naive_on_average(self):
+        """Fig 9c shape: complete linkage yields lower average error."""
+        from repro.core.compression import self_join_bound
+
+        fam = _cds_family(8, 40)
+
+        def avg_error(method):
+            labels = cluster_cds(fam, 6, method)
+            reps, remap = group_maxima(fam, labels)
+            errs = []
+            for i, cds in enumerate(fam):
+                sj = self_join_bound(cds)
+                if sj > 0:
+                    errs.append(self_join_bound(reps[remap[i]]) / sj - 1.0)
+            return float(np.mean(errs))
+
+        assert avg_error("complete") <= avg_error("naive")

@@ -1,0 +1,95 @@
+"""Tests for the relational substrate: Table, Schema, Database."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import Eq, Range
+from repro.db.database import Database
+from repro.db.schema import ForeignKey, Schema
+from repro.db.table import Table
+
+
+class TestTable:
+    def test_basic(self):
+        t = Table("t", {"a": np.arange(5), "b": np.array(list("vwxyz"), dtype=object)})
+        assert len(t) == 5
+        assert t.column_names == ["a", "b"]
+        assert t.is_string_column("b") and not t.is_string_column("a")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Table("t", {"a": np.arange(5), "b": np.arange(4)})
+
+    def test_empty_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", {})
+
+    def test_filter(self):
+        t = Table("t", {"a": np.arange(10)})
+        filtered = t.filter(Range("a", low=5))
+        assert len(filtered) == 5
+        assert t.filter(None) is t
+
+    def test_filter_mask(self):
+        t = Table("t", {"a": np.array([1, 2, 1])})
+        np.testing.assert_array_equal(t.filter_mask(Eq("a", 1)), [True, False, True])
+        assert t.filter_mask(None).all()
+
+    def test_select_take(self):
+        t = Table("t", {"a": np.arange(5), "b": np.arange(5) * 2})
+        assert t.select(["a"]).column_names == ["a"]
+        taken = t.take(np.array([0, 2]))
+        assert taken.column("b").tolist() == [0, 4]
+
+    def test_sample_rows(self):
+        rng = np.random.default_rng(0)
+        t = Table("t", {"a": np.arange(100)})
+        assert len(t.sample_rows(10, rng)) == 10
+        assert t.sample_rows(1000, rng) is t
+
+    def test_memory_bytes(self):
+        t = Table("t", {"a": np.arange(10), "s": np.array(["xy"] * 10, dtype=object)})
+        assert t.memory_bytes() >= 10 * 8 + 10 * 2
+
+
+class TestSchema:
+    def test_add_table_promotes_primary_key(self):
+        schema = Schema()
+        ts = schema.add_table("t", primary_key="id", join_columns=["fk"])
+        assert ts.join_columns == ["id", "fk"]
+
+    def test_add_foreign_key_registers_join_column(self):
+        schema = Schema()
+        schema.add_table("f")
+        schema.add_table("d", primary_key="id")
+        fk = schema.add_foreign_key("f", "d_id", "d", "id")
+        assert isinstance(fk, ForeignKey)
+        assert schema.is_join_column("f", "d_id")
+        assert schema.foreign_keys_of("f") == [fk]
+
+    def test_is_primary_key(self):
+        schema = Schema()
+        schema.add_table("t", primary_key="id")
+        assert schema.is_primary_key("t", "id")
+        assert not schema.is_primary_key("t", "other")
+        assert not schema.is_primary_key("missing", "id")
+
+
+class TestDatabase:
+    def test_requires_schema(self):
+        db = Database(Schema())
+        with pytest.raises(KeyError):
+            db.add_table(Table("t", {"a": np.arange(3)}))
+
+    def test_accessors(self):
+        schema = Schema()
+        schema.add_table("t")
+        db = Database(schema)
+        db.add_table(Table("t", {"a": np.arange(3)}))
+        assert "t" in db
+        assert db.table("t").num_rows == 3
+        assert db.table_names() == ["t"]
+        assert db.total_rows() == 3
+        assert db.memory_bytes() > 0

@@ -1,0 +1,107 @@
+"""Tests for exact degree sequences (Sec 2.2 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degree_sequence import DegreeSequence
+
+
+class TestFigure1Example:
+    """The worked example of Fig 1: column a b c c c c d d e e f."""
+
+    def setup_method(self):
+        self.ds = DegreeSequence.from_column(np.array(list("abccccddeef"), dtype=object))
+
+    def test_norms(self):
+        assert self.ds.cardinality == 11  # ||f||_1
+        assert self.ds.num_distinct == 6  # ||f||_0
+        assert self.ds.max_frequency == 4  # ||f||_inf
+
+    def test_runs(self):
+        assert self.ds.freqs.tolist() == [4, 2, 1]
+        assert self.ds.counts.tolist() == [1, 2, 3]
+
+    def test_expand(self):
+        assert self.ds.expand().tolist() == [4, 2, 2, 1, 1, 1]
+
+    def test_self_join_size(self):
+        assert self.ds.self_join_size == 16 + 4 + 4 + 1 + 1 + 1
+
+    def test_frequency_at_rank(self):
+        assert [self.ds.frequency_at_rank(i) for i in range(0, 8)] == [0, 4, 2, 2, 1, 1, 1, 0]
+
+    def test_cds_totals(self):
+        cds = self.ds.to_cds()
+        assert cds.total == 11
+        assert cds.domain_end == 6
+        assert cds(1) == 4 and cds(3) == 8 and cds(6) == 11
+
+    def test_step_function(self):
+        f = self.ds.to_step_function()
+        assert f.integral() == pytest.approx(11)
+        assert f.is_nonincreasing()
+
+
+class TestConstruction:
+    def test_empty_column(self):
+        ds = DegreeSequence.from_column(np.array([], dtype=np.int64))
+        assert ds.cardinality == 0
+        assert ds.num_distinct == 0
+        assert ds.max_frequency == 0
+        assert ds.to_cds().total == 0.0
+
+    def test_key_column(self):
+        ds = DegreeSequence.from_column(np.arange(50))
+        assert ds.freqs.tolist() == [1]
+        assert ds.counts.tolist() == [50]
+        assert ds.num_runs == 1
+
+    def test_from_frequencies_ignores_zeros(self):
+        ds = DegreeSequence.from_frequencies(np.array([3, 0, 1, 3]))
+        assert ds.cardinality == 7
+        assert ds.num_distinct == 3
+
+    def test_object_column(self):
+        ds = DegreeSequence.from_column(np.array(["x", "y", "x", None], dtype=object))
+        assert ds.cardinality == 4
+        assert ds.max_frequency == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegreeSequence(np.array([1, 2]), np.array([1, 1]))  # ascending
+        with pytest.raises(ValueError):
+            DegreeSequence(np.array([2, -1]), np.array([1, 1]))  # negative
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_from_random_columns(self, values):
+        column = np.array(values)
+        ds = DegreeSequence.from_column(column)
+        assert ds.cardinality == len(column)
+        assert ds.num_distinct == len(set(values))
+        # descending run frequencies, positive counts
+        assert all(ds.freqs[i] > ds.freqs[i + 1] for i in range(len(ds.freqs) - 1))
+        assert (ds.counts > 0).all()
+        # Lemma 3.3: lossless run count <= min(sqrt(2N), f(1))
+        assert ds.num_runs <= min(np.sqrt(2 * ds.cardinality), ds.max_frequency)
+        # CDS is concave, nondecreasing, ends at (d, N)
+        cds = ds.to_cds()
+        assert cds.is_concave()
+        assert cds.is_nondecreasing()
+        assert cds.total == ds.cardinality
+        assert cds.domain_end == ds.num_distinct
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_expand_matches_cds_delta(self, freqs):
+        ds = DegreeSequence.from_frequencies(np.array(freqs))
+        expanded = ds.expand()
+        f = ds.to_cds().delta()
+        ranks = np.arange(1, len(expanded) + 1) - 0.5
+        assert np.allclose(f(ranks), expanded)

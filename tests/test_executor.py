@@ -1,0 +1,170 @@
+"""Executor tests: Yannakakis counting and materialisation vs brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicates import Eq, Range
+from repro.db.database import Database
+from repro.db.executor import CardinalityOverflow, Executor, _join_indices
+from repro.db.query import Query
+from repro.db.schema import Schema
+from repro.db.table import Table
+
+
+def _db(tables):
+    schema = Schema()
+    db = Database(schema)
+    for name, cols in tables.items():
+        schema.add_table(name, join_columns=list(cols))
+        db.add_table(Table(name, cols))
+    return db
+
+
+def _brute_force(db, query):
+    """Reference nested-loop counting (tiny inputs only)."""
+    aliases = sorted(query.relations)
+    tables = {a: db.table(query.relations[a]) for a in aliases}
+    masks = {a: tables[a].filter_mask(query.predicates.get(a)) for a in aliases}
+    rows = {a: np.flatnonzero(masks[a]) for a in aliases}
+    count = 0
+
+    def recurse(i, assignment):
+        nonlocal count
+        if i == len(aliases):
+            count += 1
+            return
+        alias = aliases[i]
+        for row in rows[alias]:
+            ok = True
+            for j in query.joins:
+                for me, other in ((j.left, j.right), (j.right, j.left)):
+                    if me.alias != alias:
+                        continue
+                    if other.alias == alias:
+                        if tables[alias].column(me.column)[row] != tables[alias].column(other.column)[row]:
+                            ok = False
+                    elif other.alias in assignment:
+                        mine = tables[alias].column(me.column)[row]
+                        theirs = tables[other.alias].column(other.column)[assignment[other.alias]]
+                        if mine != theirs:
+                            ok = False
+            if ok:
+                assignment[alias] = row
+                recurse(i + 1, assignment)
+                del assignment[alias]
+
+    recurse(0, {})
+    return count
+
+
+class TestJoinIndices:
+    @given(
+        st.lists(st.integers(0, 5), min_size=0, max_size=20),
+        st.lists(st.integers(0, 5), min_size=0, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, left, right):
+        li, ri = _join_indices(np.array(left, dtype=np.int64), np.array(right, dtype=np.int64))
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j) for i in range(len(left)) for j in range(len(right)) if left[i] == right[j]
+        )
+        assert got == expected
+
+
+@pytest.mark.parametrize("trial", range(10))
+class TestAgainstBruteForce:
+    def test_chain_with_predicates(self, trial):
+        rng = np.random.default_rng(trial)
+        db = _db(
+            {
+                "R": {"x": rng.integers(0, 4, 12), "a": rng.integers(0, 3, 12)},
+                "S": {"x": rng.integers(0, 4, 14), "y": rng.integers(0, 3, 14)},
+                "T": {"y": rng.integers(0, 3, 10)},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+        q.add_join("r", "x", "s", "x").add_join("s", "y", "t", "y")
+        q.add_predicate("r", Range("a", low=1))
+        assert Executor(db).cardinality(q) == _brute_force(db, q)
+
+    def test_triangle(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        db = _db(
+            {
+                "R": {"x": rng.integers(0, 3, 10), "y": rng.integers(0, 3, 10)},
+                "S": {"y": rng.integers(0, 3, 10), "z": rng.integers(0, 3, 10)},
+                "T": {"z": rng.integers(0, 3, 10), "x": rng.integers(0, 3, 10)},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+        q.add_join("r", "y", "s", "y").add_join("s", "z", "t", "z").add_join("t", "x", "r", "x")
+        assert Executor(db).cardinality(q) == _brute_force(db, q)
+
+    def test_self_join(self, trial):
+        rng = np.random.default_rng(200 + trial)
+        db = _db({"R": {"x": rng.integers(0, 4, 15)}})
+        q = Query()
+        q.add_relation("r1", "R").add_relation("r2", "R")
+        q.add_join("r1", "x", "r2", "x")
+        assert Executor(db).cardinality(q) == _brute_force(db, q)
+
+
+class TestEdgeCases:
+    def test_single_relation_count(self):
+        db = _db({"R": {"x": np.arange(10)}})
+        q = Query()
+        q.add_relation("r", "R")
+        q.add_predicate("r", Range("x", low=5))
+        assert Executor(db).cardinality(q) == 5
+
+    def test_empty_query(self):
+        db = _db({"R": {"x": np.arange(3)}})
+        assert Executor(db).cardinality(Query()) == 0
+
+    def test_filtered_cardinality(self):
+        db = _db({"R": {"x": np.array([1, 1, 2])}})
+        assert Executor(db).filtered_cardinality("R", Eq("x", 1)) == 2
+
+    def test_empty_join_result(self):
+        db = _db({"R": {"x": np.zeros(5, dtype=np.int64)}, "S": {"x": np.ones(5, dtype=np.int64)}})
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S")
+        q.add_join("r", "x", "s", "x")
+        assert Executor(db).cardinality(q) == 0
+
+    def test_materialize_cap(self):
+        rng = np.random.default_rng(5)
+        db = _db(
+            {
+                "R": {"x": np.zeros(2000, dtype=np.int64), "y": rng.integers(0, 3, 2000)},
+                "S": {"x": np.zeros(2000, dtype=np.int64), "y": rng.integers(0, 3, 2000)},
+                "T": {"y": rng.integers(0, 3, 50), "x": np.zeros(50, dtype=np.int64)},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+        q.add_join("r", "x", "s", "x").add_join("s", "y", "t", "y").add_join("t", "x", "r", "x")
+        assert not q.is_berge_acyclic()
+        with pytest.raises(CardinalityOverflow):
+            Executor(db, materialize_cap=10_000).cardinality(q)
+
+    def test_star_join_blowup_counted_without_materialising(self):
+        """A star join whose output has ~10^9 rows must count instantly."""
+        db = _db(
+            {
+                "A": {"x": np.zeros(1000, dtype=np.int64)},
+                "B": {"x": np.zeros(1000, dtype=np.int64)},
+                "C": {"x": np.zeros(1000, dtype=np.int64)},
+            }
+        )
+        q = Query()
+        q.add_relation("a", "A").add_relation("b", "B").add_relation("c", "C")
+        q.add_join("a", "x", "b", "x").add_join("b", "x", "c", "x")
+        assert Executor(db).cardinality(q) == 1000**3

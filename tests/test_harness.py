@@ -1,0 +1,99 @@
+"""Harness tests: metrics, runner and per-figure reductions on a mini suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.metrics import (
+    quantiles,
+    regression_stats,
+    relative_error,
+    speedup_quantiles,
+)
+from repro.harness.reporting import format_float, format_table
+from repro.harness.runner import run_workload
+from repro.estimators import PostgresEstimator, TrueCardinalityEstimator
+from repro.core import SafeBound
+from repro.workloads import make_job_light
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(10, 100) == pytest.approx(0.1)
+        assert relative_error(10, 0) == pytest.approx(10.0)  # clamped denominator
+
+    def test_quantiles(self):
+        qs = quantiles(range(101))
+        assert qs[0.5] == pytest.approx(50.0)
+        assert qs[0.05] == pytest.approx(5.0)
+
+    def test_quantiles_empty(self):
+        qs = quantiles([])
+        assert all(np.isnan(v) for v in qs.values())
+
+    def test_speedup_quantiles(self):
+        qs = speedup_quantiles([10, 10, 10], [1, 10, 100])
+        assert qs[0.5] == pytest.approx(1.0)
+
+    def test_regression_stats(self):
+        count, severity = regression_stats([10, 10, 10], [10, 30, 9])
+        assert count == 1
+        assert severity == pytest.approx(3.0)
+
+    def test_regression_none(self):
+        count, severity = regression_stats([10], [10])
+        assert count == 0 and severity == 1.0
+
+
+class TestReporting:
+    def test_format_float(self):
+        assert format_float(None) == "-"
+        assert format_float(float("nan")) == "-"
+        assert format_float(1.234) == "1.23"
+        assert format_float(1e9) == "1.00e+09"
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, "x"], [2.5, "y"]], title="T")
+        assert "T" in text and "a" in text and "2.50" in text
+        assert len(text.splitlines()) == 5
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def mini_results(self, small_imdb):
+        workload = make_job_light(db=small_imdb, num_queries=6)
+        estimators = {
+            "TrueCardinality": TrueCardinalityEstimator(),
+            "Postgres": PostgresEstimator(),
+            "SafeBound": SafeBound(),
+        }
+        return run_workload(workload, estimators)
+
+    def test_all_methods_present(self, mini_results):
+        assert set(mini_results) == {"TrueCardinality", "Postgres", "SafeBound"}
+
+    def test_records_complete(self, mini_results):
+        for result in mini_results.values():
+            assert len(result.records) == 6
+            for record in result.supported_records():
+                assert record.runtime is not None and record.runtime > 0
+                assert record.planning_seconds > 0
+                assert record.estimate is not None
+
+    def test_safebound_never_underestimates(self, mini_results):
+        for record in mini_results["SafeBound"].records:
+            assert record.estimate >= record.true_cardinality - 1e-6
+
+    def test_truth_runtime_is_reference(self, mini_results):
+        truth_total = mini_results["TrueCardinality"].total_runtime()
+        assert truth_total > 0
+        # other methods can't beat the truth baseline by much in aggregate
+        for name, result in mini_results.items():
+            assert result.total_runtime() >= truth_total * 0.5
+
+    def test_build_and_memory_recorded(self, mini_results):
+        sb = mini_results["SafeBound"]
+        assert sb.build_seconds > 0
+        assert sb.memory_bytes > 0
+        assert sb.median_planning_seconds() > 0

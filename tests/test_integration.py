@@ -1,0 +1,143 @@
+"""Cross-module integration tests on the real benchmark generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SafeBound
+from repro.db.executor import CardinalityOverflow, Executor
+from repro.estimators import PessEstEstimator, TrueCardinalityEstimator
+from repro.workloads import make_job_light, make_job_light_ranges, make_stats_ceb
+
+
+class TestSafeBoundOnImdb:
+    @pytest.fixture(scope="class")
+    def built(self, small_imdb):
+        sb = SafeBound()
+        sb.build(small_imdb)
+        return sb, Executor(small_imdb)
+
+    def test_job_light_soundness(self, small_imdb, built):
+        sb, ex = built
+        wl = make_job_light(db=small_imdb, num_queries=25, seed=3)
+        for q in wl.queries:
+            assert sb.bound(q) >= ex.cardinality(q) - 1e-6, q.name
+
+    def test_job_light_ranges_soundness(self, small_imdb, built):
+        sb, ex = built
+        wl = make_job_light_ranges(db=small_imdb, num_queries=25, seed=3)
+        for q in wl.queries:
+            assert sb.bound(q) >= ex.cardinality(q) - 1e-6, q.name
+
+
+class TestSafeBoundOnStats:
+    def test_cyclic_queries_soundness(self, small_stats):
+        sb = SafeBound()
+        sb.build(small_stats)
+        ex = Executor(small_stats, materialize_cap=5_000_000)
+        wl = make_stats_ceb(db=small_stats, num_queries=20, seed=3)
+        checked_cyclic = 0
+        for q in wl.queries:
+            try:
+                true = ex.cardinality(q)
+            except CardinalityOverflow:
+                continue
+            assert sb.bound(q) >= true - 1e-6, q.name
+            if not q.is_berge_acyclic():
+                checked_cyclic += 1
+        assert checked_cyclic >= 1, "the sweep must include cyclic queries"
+
+
+class TestPessEstOnImdb:
+    def test_bound_holds_on_benchmark_queries(self, small_imdb):
+        pess = PessEstEstimator(num_partitions=32)
+        pess.build(small_imdb)
+        truth = TrueCardinalityEstimator()
+        truth.build(small_imdb)
+        wl = make_job_light(db=small_imdb, num_queries=15, seed=4)
+        for q in wl.queries:
+            assert pess.estimate(q) >= truth.estimate(q) - 1e-6, q.name
+
+
+class TestExperimentReductions:
+    @pytest.fixture(scope="class")
+    def tiny_suite(self, small_imdb):
+        from repro.harness.runner import run_workload
+        from repro.estimators import PostgresEstimator
+
+        wl = make_job_light(db=small_imdb, num_queries=5, seed=5)
+        return {
+            wl.name: run_workload(
+                wl,
+                {
+                    "TrueCardinality": TrueCardinalityEstimator(),
+                    "Postgres": PostgresEstimator(),
+                    "SafeBound": SafeBound(),
+                },
+            )
+        }
+
+    def test_fig5a_rows(self, tiny_suite):
+        from repro.harness import fig5a_runtimes
+
+        rows = fig5a_runtimes(tiny_suite)
+        assert len(rows) == 3
+        truth_row = next(r for r in rows if r[1] == "TrueCardinality")
+        assert truth_row[2] == pytest.approx(1.0)
+
+    def test_fig5b_rows(self, tiny_suite):
+        from repro.harness import fig5b_planning_time
+
+        rows = fig5b_planning_time(tiny_suite)
+        assert all(r[2] > 0 for r in rows)
+
+    def test_fig5c_rows(self, tiny_suite):
+        from repro.harness import fig5c_relative_error
+
+        rows = fig5c_relative_error(tiny_suite)
+        sb_rows = [r for r in rows if r[1] == "SafeBound"]
+        assert sb_rows and all(r[5] == 0.0 for r in sb_rows)
+
+    def test_fig6_structure(self, tiny_suite):
+        from repro.harness import fig6_longest_queries
+
+        result = fig6_longest_queries(tiny_suite, top=3)
+        assert len(result["queries"]) <= 3
+        assert set(result["speedup_quantiles"]) == {0.05, 0.25, 0.5, 0.75, 0.95}
+
+    def test_fig7_structure(self, tiny_suite):
+        from repro.harness import fig7_binned_runtime
+
+        rows = fig7_binned_runtime(tiny_suite)
+        assert all(len(r) == 4 for r in rows)
+
+    def test_fig8_rows(self, tiny_suite):
+        from repro.harness import fig8a_memory, fig8b_build_time
+
+        mem = fig8a_memory(tiny_suite)
+        build = fig8b_build_time(tiny_suite)
+        assert {r[1] for r in mem} == {"Postgres", "SafeBound"}
+        assert all(r[2] >= 0 for r in mem)
+        assert all(r[2] >= 0 for r in build)
+
+    def test_fig9b_rows(self, small_imdb):
+        from repro.harness import fig9b_compression
+
+        rows = fig9b_compression(small_imdb)
+        methods = {r[0] for r in rows}
+        assert "ValidCompress/CDS" in methods and "EquiDepth/DS" in methods
+        assert all(r[2] >= -1e-9 for r in rows)
+
+    def test_fig9c_rows(self, small_imdb):
+        from repro.harness import fig9c_clustering
+
+        rows = fig9c_clustering(small_imdb, cluster_counts=(2, 4))
+        assert {r[0] for r in rows} <= {"complete", "single", "naive"}
+
+    def test_fig10_rows(self):
+        from repro.harness import fig10_scalability
+
+        rows = fig10_scalability(scale_factors=(0.002, 0.004))
+        assert len(rows) == 4
+        assert all(r[3] > 0 for r in rows)

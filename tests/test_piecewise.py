@@ -1,0 +1,285 @@
+"""Unit + property tests for the piecewise function machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.testing as npt
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.piecewise import (
+    PiecewiseConstant,
+    PiecewiseLinear,
+    concave_envelope,
+    pointwise_max,
+    pointwise_min,
+    pointwise_sum,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def step_functions(draw):
+    n = draw(st.integers(1, 6))
+    widths = draw(st.lists(st.floats(0.5, 10), min_size=n, max_size=n))
+    values = draw(st.lists(st.floats(0, 50), min_size=n, max_size=n))
+    xs = np.cumsum(widths)
+    return PiecewiseConstant(xs, np.array(values))
+
+
+@st.composite
+def cds_functions(draw):
+    """Concave nondecreasing piecewise-linear through the origin."""
+    n = draw(st.integers(1, 6))
+    widths = np.array(draw(st.lists(st.floats(0.5, 10), min_size=n, max_size=n)))
+    slopes = np.array(sorted(draw(st.lists(st.floats(0.0, 20), min_size=n, max_size=n)), reverse=True))
+    xs = np.concatenate(([0.0], np.cumsum(widths)))
+    ys = np.concatenate(([0.0], np.cumsum(widths * slopes)))
+    return PiecewiseLinear(xs, ys)
+
+
+# ----------------------------------------------------------------------
+# PiecewiseConstant
+# ----------------------------------------------------------------------
+class TestPiecewiseConstant:
+    def test_empty(self):
+        f = PiecewiseConstant.empty()
+        assert f.domain_end == 0.0
+        assert f.integral() == 0.0
+        assert f(1.0) == 0.0
+
+    def test_eval_inside_and_outside(self):
+        f = PiecewiseConstant(np.array([2.0, 5.0]), np.array([4.0, 1.0]))
+        assert f(1.0) == 4.0
+        assert f(2.0) == 4.0  # right-continuous step: (0,2] has value 4
+        assert f(2.5) == 1.0
+        assert f(5.0) == 1.0
+        assert f(6.0) == 0.0
+        assert f(0.0) == 0.0
+        assert f(-1.0) == 0.0
+
+    def test_eval_vectorised(self):
+        f = PiecewiseConstant(np.array([2.0, 5.0]), np.array([4.0, 1.0]))
+        npt.assert_allclose(f(np.array([1.0, 3.0, 7.0])), [4.0, 1.0, 0.0])
+
+    def test_integral(self):
+        f = PiecewiseConstant(np.array([2.0, 5.0]), np.array([4.0, 1.0]))
+        assert f.integral() == pytest.approx(2 * 4 + 3 * 1)
+
+    def test_constant(self):
+        f = PiecewiseConstant.constant(3.0, 4.0)
+        assert f.integral() == pytest.approx(12.0)
+        assert PiecewiseConstant.constant(3.0, 0.0).num_segments == 0
+
+    def test_restrict(self):
+        f = PiecewiseConstant(np.array([2.0, 5.0]), np.array([4.0, 1.0]))
+        g = f.restrict(3.0)
+        assert g.domain_end == 3.0
+        assert g(1.0) == 4.0 and g(2.5) == 1.0
+        assert g.integral() == pytest.approx(2 * 4 + 1 * 1)
+
+    def test_simplify_merges_equal_segments(self):
+        f = PiecewiseConstant(np.array([1.0, 2.0, 3.0]), np.array([2.0, 2.0, 1.0]))
+        g = f.simplify()
+        assert g.num_segments == 2
+        npt.assert_allclose(g(np.array([0.5, 1.5, 2.5])), f(np.array([0.5, 1.5, 2.5])))
+
+    def test_multiply_simple(self):
+        f = PiecewiseConstant(np.array([2.0, 4.0]), np.array([3.0, 1.0]))
+        g = PiecewiseConstant(np.array([1.0, 4.0]), np.array([2.0, 5.0]))
+        h = f.multiply(g)
+        for x in [0.5, 1.5, 3.0, 4.0]:
+            assert h(x) == pytest.approx(f(x) * g(x))
+
+    def test_multiply_domain_intersection(self):
+        f = PiecewiseConstant(np.array([2.0]), np.array([3.0]))
+        g = PiecewiseConstant(np.array([5.0]), np.array([2.0]))
+        assert f.multiply(g).domain_end == pytest.approx(2.0)
+
+    @given(step_functions(), step_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_multiply_pointwise_property(self, f, g):
+        h = f.multiply(g)
+        end = min(f.domain_end, g.domain_end)
+        grid = np.linspace(end * 0.01, end, 23)
+        npt.assert_allclose(h(grid), f(grid) * g(grid), rtol=1e-9, atol=1e-9)
+
+    def test_cumulative_roundtrip(self):
+        f = PiecewiseConstant(np.array([2.0, 5.0]), np.array([4.0, 1.0]))
+        F = f.cumulative()
+        assert F.total == pytest.approx(f.integral())
+        g = F.delta()
+        grid = np.array([0.5, 1.5, 3.0, 4.9])
+        npt.assert_allclose(g(grid), f(grid))
+
+    def test_compose_with_linear(self):
+        f = PiecewiseConstant(np.array([2.0, 4.0]), np.array([5.0, 1.0]))
+        inner = PiecewiseLinear(np.array([0.0, 8.0]), np.array([0.0, 4.0]))  # x/2
+        h = f.compose_with(inner)
+        for x in [1.0, 3.9, 4.1, 7.9]:
+            assert h(x) == pytest.approx(f(x / 2))
+
+    def test_is_nonincreasing(self):
+        assert PiecewiseConstant(np.array([1.0, 2.0]), np.array([3.0, 1.0])).is_nonincreasing()
+        assert not PiecewiseConstant(np.array([1.0, 2.0]), np.array([1.0, 3.0])).is_nonincreasing()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstant(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            PiecewiseConstant(np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            PiecewiseConstant(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+# ----------------------------------------------------------------------
+# PiecewiseLinear
+# ----------------------------------------------------------------------
+class TestPiecewiseLinear:
+    def test_eval_clamps(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0, 4.0]), np.array([0.0, 6.0, 8.0]))
+        assert F(1.0) == pytest.approx(3.0)
+        assert F(3.0) == pytest.approx(7.0)
+        assert F(-1.0) == 0.0
+        assert F(10.0) == 8.0  # flat extension past the domain
+
+    def test_delta(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0, 4.0]), np.array([0.0, 6.0, 8.0]))
+        f = F.delta()
+        assert f(1.0) == pytest.approx(3.0)
+        assert f(3.0) == pytest.approx(1.0)
+
+    def test_inverse_values(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0, 4.0]), np.array([0.0, 6.0, 8.0]))
+        npt.assert_allclose(F.inverse_values(np.array([3.0, 6.0, 7.0])), [1.0, 2.0, 3.0])
+        # values above the total clamp to the domain end
+        npt.assert_allclose(F.inverse_values(np.array([100.0])), [4.0])
+
+    def test_inverse_of_flat_segment_is_leftmost(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0, 4.0]), np.array([0.0, 6.0, 6.0]))
+        assert F.inverse_values(np.array([6.0]))[0] == pytest.approx(2.0)
+
+    def test_inverse_object_of_flat_tail_is_leftmost(self):
+        """Regression: ValidCompress appends a constant tail segment; its
+        pseudo-inverse must map the total to the *start* of the flat run,
+        or beta steps read child messages at inflated ranks and the FDSB
+        can undershoot (observed as a 0.02% bound violation)."""
+        F = PiecewiseLinear(np.array([0.0, 2.0, 5.0]), np.array([0.0, 6.0, 6.0]))
+        inv = F.inverse()
+        assert inv(6.0) == pytest.approx(2.0)
+        # interior values unaffected
+        assert inv(3.0) == pytest.approx(1.0)
+
+    def test_compose(self):
+        F = PiecewiseLinear(np.array([0.0, 4.0]), np.array([0.0, 8.0]))  # 2x
+        G = PiecewiseLinear(np.array([0.0, 4.0]), np.array([0.0, 2.0]))  # x/2
+        H = F.compose(G)
+        for x in [0.5, 1.0, 3.0]:
+            assert H(x) == pytest.approx(x)
+
+    def test_truncate_total(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0, 4.0]), np.array([0.0, 6.0, 8.0]))
+        G = F.truncate_total(7.0)
+        assert G.total == pytest.approx(7.0)
+        assert G.domain_end == pytest.approx(3.0)
+        assert F.truncate_total(100.0) is F
+
+    def test_truncate_total_below_first(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0]), np.array([0.0, 6.0]))
+        G = F.truncate_total(0.0)
+        assert G.total == 0.0
+
+    def test_restrict(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0, 4.0]), np.array([0.0, 6.0, 8.0]))
+        G = F.restrict(3.0)
+        assert G.domain_end == pytest.approx(3.0)
+        assert G.total == pytest.approx(7.0)
+
+    def test_dominates(self):
+        F = PiecewiseLinear(np.array([0.0, 4.0]), np.array([0.0, 8.0]))
+        G = PiecewiseLinear(np.array([0.0, 4.0]), np.array([0.0, 6.0]))
+        assert F.dominates(G)
+        assert not G.dominates(F)
+
+    def test_is_concave(self):
+        assert PiecewiseLinear(np.array([0.0, 1.0, 3.0]), np.array([0.0, 4.0, 6.0])).is_concave()
+        assert not PiecewiseLinear(np.array([0.0, 1.0, 3.0]), np.array([0.0, 1.0, 6.0])).is_concave()
+
+    @given(cds_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_is_pseudo_inverse(self, F):
+        ys = np.linspace(0, F.total, 13)
+        xs = F.inverse_values(ys)
+        # F(F^{-1}(y)) >= y within tolerance (may be equal or overshoot flats)
+        npt.assert_array_less(ys - 1e-6 * (1 + ys), F(xs) + 1e-6)
+
+
+# ----------------------------------------------------------------------
+# Pointwise combinations
+# ----------------------------------------------------------------------
+class TestPointwise:
+    def _grid(self, fs, end):
+        return np.linspace(0, end, 41)
+
+    @given(cds_functions(), cds_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_min_is_pointwise_min(self, F, G):
+        H = pointwise_min([F, G])
+        grid = self._grid([F, G], H.domain_end)
+        npt.assert_allclose(H(grid), np.minimum(F(grid), G(grid)), rtol=1e-7, atol=1e-7)
+
+    @given(cds_functions(), cds_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_max_is_pointwise_max(self, F, G):
+        H = pointwise_max([F, G])
+        grid = self._grid([F, G], H.domain_end)
+        npt.assert_allclose(H(grid), np.maximum(F(grid), G(grid)), rtol=1e-7, atol=1e-7)
+
+    @given(cds_functions(), cds_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_domain_and_totals(self, F, G):
+        H = pointwise_sum([F, G])
+        assert H.domain_end == pytest.approx(F.domain_end + G.domain_end)
+        assert H.total == pytest.approx(F.total + G.total, rel=1e-9)
+        grid = self._grid([F, G], H.domain_end)
+        npt.assert_allclose(H(grid), F(grid) + G(grid), rtol=1e-7, atol=1e-7)
+
+    def test_min_of_single(self):
+        F = PiecewiseLinear(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert pointwise_min([F]) is F
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            pointwise_min([])
+        with pytest.raises(ValueError):
+            pointwise_max([])
+        with pytest.raises(ValueError):
+            pointwise_sum([])
+
+    def test_min_concave_preserved(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0, 5.0]), np.array([0.0, 8.0, 11.0]))
+        G = PiecewiseLinear(np.array([0.0, 3.0, 5.0]), np.array([0.0, 6.0, 10.0]))
+        assert pointwise_min([F, G]).is_concave()
+
+
+class TestConcaveEnvelope:
+    @given(st.lists(st.floats(0.1, 10), min_size=2, max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_envelope_dominates_and_preserves_endpoints(self, increments):
+        xs = np.arange(len(increments) + 1, dtype=float)
+        ys = np.concatenate(([0.0], np.cumsum(increments)))
+        F = PiecewiseLinear(xs, ys)
+        E = concave_envelope(F)
+        assert E.is_concave()
+        assert E.dominates(F)
+        assert E(0.0) == pytest.approx(0.0, abs=1e-9)
+        assert E.total == pytest.approx(F.total)
+
+    def test_envelope_of_concave_is_identity(self):
+        F = PiecewiseLinear(np.array([0.0, 1.0, 3.0]), np.array([0.0, 5.0, 8.0]))
+        E = concave_envelope(F)
+        grid = np.linspace(0, 3, 13)
+        npt.assert_allclose(E(grid), F(grid))

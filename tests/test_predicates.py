@@ -1,0 +1,101 @@
+"""Tests for the predicate AST and its vectorised evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.testing as npt
+import pytest
+
+from repro.core.predicates import (
+    And,
+    Eq,
+    InList,
+    Like,
+    Or,
+    Range,
+    columns_referenced,
+    trigrams,
+)
+
+
+@pytest.fixture
+def columns():
+    return {
+        "a": np.array([1, 2, 3, 4, 5]),
+        "b": np.array([10, 10, 20, 20, 30]),
+        "s": np.array(["abdul", "the cat", "catalog", "", None], dtype=object),
+    }
+
+
+class TestLeaves:
+    def test_eq(self, columns):
+        npt.assert_array_equal(Eq("a", 3).evaluate(columns), [False, False, True, False, False])
+
+    def test_range_two_sided(self, columns):
+        npt.assert_array_equal(
+            Range("a", low=2, high=4).evaluate(columns), [False, True, True, True, False]
+        )
+
+    def test_range_exclusive(self, columns):
+        npt.assert_array_equal(
+            Range("a", low=2, high=4, low_inclusive=False, high_inclusive=False).evaluate(columns),
+            [False, False, True, False, False],
+        )
+
+    def test_range_one_sided(self, columns):
+        npt.assert_array_equal(Range("a", low=4).evaluate(columns), [False, False, False, True, True])
+        npt.assert_array_equal(Range("a", high=2).evaluate(columns), [True, True, False, False, False])
+
+    def test_like_substring(self, columns):
+        npt.assert_array_equal(
+            Like("s", "cat").evaluate(columns), [False, True, True, False, False]
+        )
+
+    def test_like_handles_none(self, columns):
+        npt.assert_array_equal(Like("s", "zzz").evaluate(columns), [False] * 5)
+
+    def test_in_list(self, columns):
+        npt.assert_array_equal(InList("a", [1, 5]).evaluate(columns), [True, False, False, False, True])
+
+    def test_in_as_disjunction(self, columns):
+        pred = InList("a", [1, 5])
+        npt.assert_array_equal(
+            pred.as_disjunction().evaluate(columns), pred.evaluate(columns)
+        )
+
+
+class TestCombinators:
+    def test_and(self, columns):
+        pred = And([Range("a", low=2), Eq("b", 20)])
+        npt.assert_array_equal(pred.evaluate(columns), [False, False, True, True, False])
+
+    def test_or(self, columns):
+        pred = Or([Eq("a", 1), Eq("b", 30)])
+        npt.assert_array_equal(pred.evaluate(columns), [True, False, False, False, True])
+
+    def test_nested(self, columns):
+        pred = And([Or([Eq("a", 1), Eq("a", 3)]), Range("b", high=15)])
+        npt.assert_array_equal(pred.evaluate(columns), [True, False, False, False, False])
+
+    def test_referenced_columns(self):
+        pred = And([Eq("a", 1), Or([Like("s", "x"), Range("b", low=0)])])
+        assert pred.referenced_columns() == {"a", "b", "s"}
+        assert columns_referenced(None) == set()
+        assert columns_referenced(pred) == {"a", "b", "s"}
+
+    def test_repr_is_readable(self):
+        pred = And([Eq("a", 1), Like("s", "cat")])
+        text = repr(pred)
+        assert "a = 1" in text and "LIKE" in text
+
+
+class TestTrigrams:
+    def test_basic(self):
+        assert trigrams("Abdul") == ["Abd", "bdu", "dul"]
+
+    def test_exactly_three(self):
+        assert trigrams("cat") == ["cat"]
+
+    def test_short(self):
+        assert trigrams("ab") == ["ab"]
+        assert trigrams("") == []

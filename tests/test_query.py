@@ -1,0 +1,106 @@
+"""Tests for the query model: variables, acyclicity, subqueries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicates import Eq
+from repro.db.query import ColumnRef, Query
+
+
+def _chain() -> Query:
+    q = Query()
+    q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+    q.add_join("r", "x", "s", "x").add_join("s", "y", "t", "y")
+    return q
+
+
+def _triangle() -> Query:
+    q = Query()
+    q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+    q.add_join("r", "x", "s", "x").add_join("s", "y", "t", "y").add_join("t", "z", "r", "z")
+    return q
+
+
+class TestVariables:
+    def test_chain_variables(self):
+        variables = _chain().variables()
+        assert len(variables) == 2
+        assert frozenset({ColumnRef("r", "x"), ColumnRef("s", "x")}) in variables
+
+    def test_star_shared_variable(self):
+        q = Query()
+        q.add_relation("a", "A").add_relation("b", "B").add_relation("c", "C")
+        q.add_join("a", "x", "b", "x").add_join("b", "x", "c", "x")
+        variables = q.variables()
+        assert len(variables) == 1
+        assert len(variables[0]) == 3
+
+    def test_join_columns_of(self):
+        q = _chain()
+        assert q.join_columns_of("s") == {"x", "y"}
+        assert q.join_columns_of("r") == {"x"}
+
+
+class TestAcyclicity:
+    def test_chain_acyclic(self):
+        assert _chain().is_berge_acyclic()
+
+    def test_triangle_cyclic(self):
+        assert not _triangle().is_berge_acyclic()
+
+    def test_star_acyclic(self):
+        q = Query()
+        q.add_relation("a", "A").add_relation("b", "B").add_relation("c", "C")
+        q.add_join("a", "x", "b", "x").add_join("b", "x", "c", "x")
+        assert q.is_berge_acyclic()
+
+    def test_parallel_edges_cyclic(self):
+        q = Query()
+        q.add_relation("a", "A").add_relation("b", "B")
+        q.add_join("a", "x", "b", "x").add_join("a", "y", "b", "y")
+        assert not q.is_berge_acyclic()
+
+    def test_single_relation(self):
+        q = Query()
+        q.add_relation("a", "A")
+        assert q.is_berge_acyclic()
+        assert q.is_connected()
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert _chain().is_connected()
+
+    def test_disconnected(self):
+        q = Query()
+        q.add_relation("a", "A").add_relation("b", "B")
+        assert not q.is_connected()
+
+
+class TestSubqueries:
+    def test_induced_subquery(self):
+        q = _chain()
+        q.add_predicate("r", Eq("a", 1))
+        sub = q.induced_subquery({"r", "s"})
+        assert set(sub.relations) == {"r", "s"}
+        assert len(sub.joins) == 1
+        assert "r" in sub.predicates
+        assert "t" not in sub.predicates
+
+    def test_cache_key_stable_under_join_order(self):
+        q1 = _chain()
+        q2 = Query()
+        q2.add_relation("t", "T").add_relation("s", "S").add_relation("r", "R")
+        q2.add_join("t", "y", "s", "y")
+        q2.add_join("s", "x", "r", "x")
+        assert q1.cache_key() == q2.cache_key()
+
+    def test_cache_key_differs_with_predicates(self):
+        q1, q2 = _chain(), _chain()
+        q2.add_predicate("r", Eq("a", 1))
+        assert q1.cache_key() != q2.cache_key()
+
+    def test_repr(self):
+        text = repr(_chain())
+        assert "R r" in text and "=" in text

@@ -1,0 +1,206 @@
+"""End-to-end SafeBound tests: the never-underestimate guarantee.
+
+The paper's headline property (Sec 6, "Correctness and Accuracy"):
+SafeBound always returns a correct upper bound, for every supported
+predicate type, join shape and configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditioning import ConditioningConfig
+from repro.core.predicates import And, Eq, InList, Like, Or, Range
+from repro.core.safebound import SafeBound, SafeBoundConfig
+from repro.db.executor import Executor
+from repro.db.query import Query
+
+
+@pytest.fixture(scope="module")
+def built(tiny_db):
+    sb = SafeBound()
+    sb.build(tiny_db)
+    return sb, Executor(tiny_db)
+
+
+def _assert_bound(sb, ex, query):
+    bound = sb.bound(query)
+    true = ex.cardinality(query)
+    assert bound >= true - 1e-6, f"{query!r}: bound {bound} < true {true}"
+    return bound, true
+
+
+def _star_query(preds_dim=None, preds_fact=None, preds_fact2=None, facts=("fact", "fact2")):
+    q = Query()
+    q.add_relation("d", "dim")
+    if "fact" in facts:
+        q.add_relation("f", "fact")
+        q.add_join("f", "dim_id", "d", "id")
+    if "fact2" in facts:
+        q.add_relation("g", "fact2")
+        q.add_join("g", "dim_id", "d", "id")
+    if preds_dim is not None:
+        q.add_predicate("d", preds_dim)
+    if preds_fact is not None:
+        q.add_predicate("f", preds_fact)
+    if preds_fact2 is not None:
+        q.add_predicate("g", preds_fact2)
+    return q
+
+
+class TestSoundness:
+    def test_no_predicates(self, built):
+        sb, ex = built
+        _assert_bound(sb, ex, _star_query())
+
+    @pytest.mark.parametrize(
+        "pred",
+        [
+            Eq("year", 1975),
+            Range("year", low=1960, high=1980),
+            Range("year", high=1970),
+            Like("name", "Abd"),
+            Like("name", "nosuchgram"),
+            InList("kind", [0, 1]),
+            And([Range("year", low=1960), Eq("kind", 2)]),
+            Or([Eq("year", 1955), Like("name", "Quix")]),
+        ],
+    )
+    def test_dim_predicates(self, built, pred):
+        sb, ex = built
+        _assert_bound(sb, ex, _star_query(preds_dim=pred))
+
+    @pytest.mark.parametrize(
+        "pred",
+        [Eq("score", 5), Range("score", low=10, high=20), Eq("tag", 3),
+         And([Eq("tag", 1), Range("score", high=15)])],
+    )
+    def test_fact_predicates(self, built, pred):
+        sb, ex = built
+        _assert_bound(sb, ex, _star_query(preds_fact=pred))
+
+    def test_single_table(self, built):
+        sb, ex = built
+        q = Query()
+        q.add_relation("d", "dim")
+        q.add_predicate("d", Or([Eq("year", 1990), Eq("year", 1991)]))
+        _assert_bound(sb, ex, q)
+
+    def test_fuzz_200_queries(self, built):
+        sb, ex = built
+        rng = np.random.default_rng(99)
+        words = ["alpha", "beta", "gamma", "delta", "Abdul", "Quixote", "omega"]
+        for i in range(200):
+            kind = rng.integers(0, 5)
+            if kind == 0:
+                lo = int(rng.integers(1950, 2010))
+                pred = Range("year", low=lo, high=lo + int(rng.integers(0, 30)))
+            elif kind == 1:
+                pred = Like("name", words[rng.integers(0, len(words))][:4])
+            elif kind == 2:
+                pred = Eq("year", int(rng.integers(1950, 2020)))
+            elif kind == 3:
+                pred = Or([Eq("year", 1990), Like("name", "Qui")])
+            else:
+                pred = InList("year", [int(x) for x in rng.integers(1950, 2020, 3)])
+            fact_pred = Eq("score", int(rng.integers(0, 40))) if rng.random() < 0.5 else None
+            q = _star_query(preds_dim=pred, preds_fact=fact_pred,
+                            facts=("fact",) if rng.random() < 0.5 else ("fact", "fact2"))
+            _assert_bound(sb, ex, q)
+
+
+class TestPredicatesTighten:
+    def test_predicate_reduces_bound(self, built):
+        sb, _ = built
+        loose = sb.bound(_star_query())
+        tight = sb.bound(_star_query(preds_dim=Range("year", low=1960, high=1961)))
+        assert tight < loose
+
+    def test_conjunction_tightens(self, built):
+        sb, _ = built
+        one = sb.bound(_star_query(preds_dim=Range("year", low=1960, high=1990)))
+        two = sb.bound(
+            _star_query(preds_dim=And([Range("year", low=1960, high=1990), Eq("kind", 1)]))
+        )
+        assert two <= one + 1e-9
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            SafeBoundConfig(precompute_pk_joins=False),
+            SafeBoundConfig(conditioning=ConditioningConfig(use_bloom_filters=False)),
+            SafeBoundConfig(conditioning=ConditioningConfig(cds_group_count=0)),
+            SafeBoundConfig(conditioning=ConditioningConfig(like_default_mode="nogram")),
+            SafeBoundConfig(conditioning=ConditioningConfig(compression_accuracy=0.2)),
+        ],
+        ids=["no-pk", "no-bloom", "no-grouping", "nogram", "coarse"],
+    )
+    def test_ablations_stay_sound(self, tiny_db, config):
+        sb = SafeBound(config)
+        sb.build(tiny_db)
+        ex = Executor(tiny_db)
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            lo = int(rng.integers(1950, 2010))
+            q = _star_query(
+                preds_dim=Range("year", low=lo, high=lo + int(rng.integers(0, 25))),
+                preds_fact=Eq("tag", int(rng.integers(0, 8))),
+            )
+            _assert_bound(sb, ex, q)
+
+    def test_pk_propagation_tightens_fact_side(self, tiny_db):
+        """Sec 4.2: propagating dimension predicates over the PK-FK join
+        should (weakly) tighten the bound."""
+        with_pk = SafeBound(SafeBoundConfig(precompute_pk_joins=True))
+        without_pk = SafeBound(SafeBoundConfig(precompute_pk_joins=False))
+        with_pk.build(tiny_db)
+        without_pk.build(tiny_db)
+        rng = np.random.default_rng(11)
+        tighter, total = 0, 0
+        for _ in range(25):
+            lo = int(rng.integers(1950, 2005))
+            q = _star_query(preds_dim=Range("year", low=lo, high=lo + 10))
+            b_with = with_pk.bound(q)
+            b_without = without_pk.bound(q)
+            assert b_with <= b_without * (1 + 1e-6)
+            total += 1
+            if b_with < b_without * 0.99:
+                tighter += 1
+        assert tighter > 0, "PK propagation should strictly help on some queries"
+
+    def test_group_compression_reduces_sequences(self, tiny_db):
+        grouped = SafeBound(SafeBoundConfig(conditioning=ConditioningConfig(cds_group_count=8)))
+        ungrouped = SafeBound(SafeBoundConfig(conditioning=ConditioningConfig(cds_group_count=0)))
+        grouped.build(tiny_db)
+        ungrouped.build(tiny_db)
+        assert grouped.num_sequences() < ungrouped.num_sequences()
+        assert grouped.memory_bytes() < ungrouped.memory_bytes()
+
+
+class TestInterface:
+    def test_bound_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            SafeBound().bound(Query())
+
+    def test_estimate_aliases_bound(self, built):
+        sb, _ = built
+        q = _star_query()
+        assert sb.estimate(q) == sb.bound(q)
+
+    def test_memory_and_sequences_positive(self, built):
+        sb, _ = built
+        assert sb.memory_bytes() > 0
+        assert sb.num_sequences() > 0
+        assert sb.build_seconds > 0
+
+    def test_undeclared_join_column_fallback(self, built):
+        """Joining on a column not in the declared join set (Sec 3.6)."""
+        sb, ex = built
+        q = Query()
+        q.add_relation("f", "fact").add_relation("g", "fact2")
+        q.add_join("f", "tag", "g", "tag")  # tag is not a declared join column
+        q.add_predicate("f", Range("score", high=10))
+        _assert_bound(sb, ex, q)

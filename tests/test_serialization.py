@@ -1,0 +1,83 @@
+"""Round-trip tests for statistics serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditioning import ConditioningConfig
+from repro.core.predicates import And, Eq, Like, Range
+from repro.core.safebound import SafeBound, SafeBoundConfig
+from repro.core.serialization import load_stats, save_stats, stats_file_bytes
+from repro.db.query import Query
+
+
+@pytest.fixture(scope="module")
+def built(tiny_db):
+    sb = SafeBound()
+    sb.build(tiny_db)
+    return sb
+
+
+def _queries():
+    q1 = Query()
+    q1.add_relation("f", "fact").add_relation("d", "dim")
+    q1.add_join("f", "dim_id", "d", "id")
+    q1.add_predicate("d", And([Range("year", low=1960, high=1990), Like("name", "Abd")]))
+    q2 = Query()
+    q2.add_relation("f", "fact").add_relation("d", "dim").add_relation("g", "fact2")
+    q2.add_join("f", "dim_id", "d", "id").add_join("g", "dim_id", "d", "id")
+    q2.add_predicate("f", Eq("score", 3))
+    return [q1, q2]
+
+
+class TestRoundTrip:
+    def test_bounds_identical_after_reload(self, built, tiny_db, tmp_path):
+        path = str(tmp_path / "stats.npz")
+        size = save_stats(built.stats, path)
+        assert size > 0
+        reloaded = load_stats(path)
+        sb2 = SafeBound(built.config)
+        sb2.stats = reloaded
+        for q in _queries():
+            assert sb2.bound(q) == pytest.approx(built.bound(q), rel=1e-9)
+
+    def test_structure_preserved(self, built, tmp_path):
+        path = str(tmp_path / "stats.npz")
+        save_stats(built.stats, path)
+        reloaded = load_stats(path)
+        assert set(reloaded.relations) == set(built.stats.relations)
+        for name, rel in built.stats.relations.items():
+            rel2 = reloaded.relations[name]
+            assert rel2.cardinality == rel.cardinality
+            assert set(rel2.join_stats) == set(rel.join_stats)
+            assert set(rel2.fallback_cds) == set(rel.fallback_cds)
+            assert rel2.virtual_columns == rel.virtual_columns
+
+    def test_bloom_filters_survive(self, built, tmp_path):
+        path = str(tmp_path / "stats.npz")
+        save_stats(built.stats, path)
+        reloaded = load_stats(path)
+        for name, rel in reloaded.relations.items():
+            for js in rel.join_stats.values():
+                for fstats in js.filters.values():
+                    if fstats.equality is not None and fstats.equality.blooms is not None:
+                        assert all(b.num_bits > 0 for b in fstats.equality.blooms)
+                        return
+        pytest.skip("no bloom filters in this configuration")
+
+    def test_no_bloom_configuration_round_trips(self, tiny_db, tmp_path):
+        sb = SafeBound(
+            SafeBoundConfig(conditioning=ConditioningConfig(use_bloom_filters=False, mcv_size=10))
+        )
+        sb.build(tiny_db)
+        path = str(tmp_path / "stats.npz")
+        save_stats(sb.stats, path)
+        sb2 = SafeBound(sb.config)
+        sb2.stats = load_stats(path)
+        for q in _queries():
+            assert sb2.bound(q) == pytest.approx(sb.bound(q), rel=1e-9)
+
+    def test_file_size_metric(self, built):
+        size = stats_file_bytes(built.stats)
+        assert 0 < size < 10 * 1024 * 1024

@@ -1,0 +1,146 @@
+"""Tests for the SQL front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import And, Eq, InList, Like, Or, Range
+from repro.db.executor import Executor
+from repro.db.query import ColumnRef
+from repro.db.sql import SqlParseError, parse_sql
+
+
+class TestFromClause:
+    def test_aliases(self):
+        q = parse_sql("SELECT * FROM title t, cast_info ci")
+        assert q.relations == {"t": "title", "ci": "cast_info"}
+
+    def test_as_keyword(self):
+        q = parse_sql("SELECT * FROM title AS t")
+        assert q.relations == {"t": "title"}
+
+    def test_no_alias_defaults_to_table(self):
+        q = parse_sql("SELECT * FROM title")
+        assert q.relations == {"title": "title"}
+
+
+class TestJoins:
+    def test_equi_join(self):
+        q = parse_sql("SELECT * FROM a x, b y WHERE x.k = y.k")
+        assert len(q.joins) == 1
+        j = q.joins[0]
+        assert {j.left, j.right} == {ColumnRef("x", "k"), ColumnRef("y", "k")}
+
+    def test_multiple_joins(self):
+        q = parse_sql(
+            "SELECT * FROM t t, ci ci, mk mk WHERE ci.movie_id = t.id AND mk.movie_id = t.id"
+        )
+        assert len(q.joins) == 2
+        assert q.is_berge_acyclic()
+
+    def test_non_equality_join_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT * FROM a x, b y WHERE x.k < y.k")
+
+    def test_join_under_or_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT * FROM a x, b y WHERE (x.k = y.k OR x.v = 1)")
+
+
+class TestPredicates:
+    def test_equality_and_comparisons(self):
+        q = parse_sql(
+            "SELECT * FROM t t WHERE t.a = 3 AND t.b > 1 AND t.c <= 9"
+        )
+        pred = q.predicates["t"]
+        assert isinstance(pred, And)
+        kinds = {type(c) for c in pred.children}
+        assert kinds == {Eq, Range}
+
+    def test_between(self):
+        q = parse_sql("SELECT * FROM t t WHERE t.year BETWEEN 1990 AND 2000")
+        pred = q.predicates["t"]
+        assert isinstance(pred, Range)
+        assert pred.low == 1990 and pred.high == 2000
+
+    def test_like_strips_percent(self):
+        q = parse_sql("SELECT * FROM t t WHERE t.name LIKE '%Abdul%'")
+        pred = q.predicates["t"]
+        assert isinstance(pred, Like) and pred.pattern == "Abdul"
+
+    def test_in_list(self):
+        q = parse_sql("SELECT * FROM t t WHERE t.kind IN (1, 2, 3)")
+        pred = q.predicates["t"]
+        assert isinstance(pred, InList) and pred.values == (1, 2, 3)
+
+    def test_string_values(self):
+        q = parse_sql("SELECT * FROM t t WHERE t.name = 'O''Brien'")
+        assert q.predicates["t"] == Eq("name", "O'Brien")
+
+    def test_or_same_alias(self):
+        q = parse_sql("SELECT * FROM t t WHERE (t.a = 1 OR t.a = 2)")
+        assert isinstance(q.predicates["t"], Or)
+
+    def test_or_across_aliases_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT * FROM a x, b y WHERE (x.v = 1 OR y.v = 2)")
+
+    def test_float_literals(self):
+        q = parse_sql("SELECT * FROM t t WHERE t.price >= 12.5")
+        assert q.predicates["t"].low == 12.5
+
+    def test_exclusive_bounds(self):
+        q = parse_sql("SELECT * FROM t t WHERE t.a < 5 AND t.a > 1")
+        pred = q.predicates["t"]
+        assert all(isinstance(c, Range) for c in pred.children)
+        assert {c.high_inclusive for c in pred.children if c.high is not None} == {False}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM t",  # not SELECT *
+            "SELECT * FROM t t WHERE t.a ~ 5",
+            "SELECT * FROM t t WHERE a = 5",  # unaliased column
+            "SELECT * FROM t t WHERE u.a = 5",  # unknown alias
+            "SELECT * FROM",
+        ],
+    )
+    def test_rejects(self, sql):
+        with pytest.raises(SqlParseError):
+            parse_sql(sql)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT * FROM t t WHERE t.a = 1 GROUP")
+
+
+class TestEndToEnd:
+    def test_parsed_query_executes_like_built_query(self, tiny_db):
+        sql = (
+            "SELECT * FROM fact f, dim d "
+            "WHERE f.dim_id = d.id AND d.year BETWEEN 1960 AND 1990 "
+            "AND f.score <= 20;"
+        )
+        parsed = parse_sql(sql)
+        from repro.db.query import Query
+
+        built = Query()
+        built.add_relation("f", "fact").add_relation("d", "dim")
+        built.add_join("f", "dim_id", "d", "id")
+        built.add_predicate("d", Range("year", low=1960, high=1990))
+        built.add_predicate("f", Range("score", high=20))
+        ex = Executor(tiny_db)
+        assert ex.cardinality(parsed) == ex.cardinality(built)
+
+    def test_parsed_query_boundable(self, tiny_db):
+        from repro.core import SafeBound
+
+        sb = SafeBound()
+        sb.build(tiny_db)
+        q = parse_sql(
+            "SELECT * FROM fact f, dim d WHERE f.dim_id = d.id AND d.name LIKE '%Abd%'"
+        )
+        assert sb.bound(q) >= Executor(tiny_db).cardinality(q) - 1e-6

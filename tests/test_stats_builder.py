@@ -1,0 +1,89 @@
+"""Tests for the offline statistics builder (Sec 3.1 + 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditioning import ConditioningConfig
+from repro.core.stats_builder import (
+    _pull_dimension_column,
+    build_statistics,
+    virtual_column_name,
+)
+
+
+class TestPullDimensionColumn:
+    def test_numeric_lookup(self):
+        fk = np.array([2, 0, 1, 2])
+        pk = np.array([0, 1, 2])
+        dim = np.array([10, 11, 12])
+        out = _pull_dimension_column(fk, pk, dim)
+        np.testing.assert_allclose(out, [12.0, 10.0, 11.0, 12.0])
+
+    def test_dangling_fk_becomes_nan(self):
+        out = _pull_dimension_column(np.array([5]), np.array([0, 1]), np.array([7, 8]))
+        assert np.isnan(out[0])
+
+    def test_string_lookup(self):
+        fk = np.array([1, 9])
+        pk = np.array([0, 1])
+        dim = np.array(["a", "b"], dtype=object)
+        out = _pull_dimension_column(fk, pk, dim)
+        assert out[0] == "b" and out[1] is None
+
+
+class TestBuildStatistics:
+    @pytest.fixture(scope="class")
+    def stats(self, tiny_db):
+        return build_statistics(tiny_db, ConditioningConfig(mcv_size=20, cds_group_count=4))
+
+    def test_every_table_covered(self, tiny_db, stats):
+        assert set(stats.relations) == set(tiny_db.table_names())
+
+    def test_join_columns_have_stats(self, tiny_db, stats):
+        for name, rel in stats.relations.items():
+            expected = set(tiny_db.schema.tables[name].join_columns)
+            assert set(rel.join_stats) == expected
+
+    def test_fallback_cds_for_every_column(self, tiny_db, stats):
+        for name, rel in stats.relations.items():
+            assert set(rel.fallback_cds) == set(tiny_db.table(name).column_names)
+
+    def test_virtual_columns_created(self, stats):
+        fact = stats.relations["fact"]
+        key = ("dim_id", "dim", "id", "year")
+        assert key in fact.virtual_columns
+        assert fact.virtual_columns[key] == virtual_column_name("dim_id", "dim", "year")
+        # the virtual column became a conditioned filter family
+        vname = fact.virtual_columns[key]
+        assert vname in fact.join_stats["dim_id"].filters
+
+    def test_no_pk_precompute_leaves_no_virtuals(self, tiny_db):
+        stats = build_statistics(
+            tiny_db,
+            ConditioningConfig(mcv_size=10, cds_group_count=4),
+            precompute_pk_joins=False,
+        )
+        assert all(not rel.virtual_columns for rel in stats.relations.values())
+
+    def test_build_seconds_recorded(self, stats):
+        assert stats.build_seconds > 0
+
+    def test_sequence_count_example_3_2_style(self, tiny_db, stats):
+        """Example 3.2: conditioning yields many sequences per relation;
+        group compression (tested in test_safebound) reduces storage."""
+        fact = stats.relations["fact"]
+        assert fact.num_sequences() > 10
+        assert stats.num_sequences() == sum(
+            r.num_sequences() for r in stats.relations.values()
+        )
+
+    def test_no_trigrams_mode(self, tiny_db):
+        with_tri = build_statistics(tiny_db, ConditioningConfig(mcv_size=10, cds_group_count=4))
+        without = build_statistics(
+            tiny_db,
+            ConditioningConfig(mcv_size=10, cds_group_count=4),
+            build_trigrams=False,
+        )
+        assert without.memory_bytes() < with_tri.memory_bytes()

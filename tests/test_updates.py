@@ -1,0 +1,116 @@
+"""Tests for incremental statistics maintenance (the paper's Sec 6
+"Handling Updates" future-work direction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degree_sequence import DegreeSequence
+from repro.core.updates import FrequencyCounter, IncrementalColumnStats
+
+
+class TestFrequencyCounter:
+    def test_roundtrip_matches_batch(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 50, 500)
+        counter = FrequencyCounter(values)
+        batch = DegreeSequence.from_column(values)
+        incremental = counter.degree_sequence()
+        assert incremental.expand().tolist() == batch.expand().tolist()
+
+    def test_insert_delete(self):
+        counter = FrequencyCounter(np.array([1, 1, 2]))
+        counter.insert(np.array([2, 3]))
+        counter.delete(np.array([1]))
+        assert counter.cardinality == 4
+        assert counter.num_distinct == 3
+        ds = counter.degree_sequence()
+        assert sorted(ds.expand().tolist(), reverse=True) == [2, 1, 1]
+
+    def test_delete_absent_raises(self):
+        counter = FrequencyCounter(np.array([1]))
+        with pytest.raises(KeyError):
+            counter.delete(np.array([99]))
+
+    def test_delete_to_zero_removes_value(self):
+        counter = FrequencyCounter(np.array([5]))
+        counter.delete(np.array([5]))
+        assert counter.num_distinct == 0
+        assert counter.cardinality == 0
+
+    @given(
+        st.lists(st.integers(0, 10), min_size=1, max_size=80),
+        st.lists(st.integers(0, 10), min_size=0, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_batch_property(self, initial, inserts):
+        counter = FrequencyCounter(np.array(initial))
+        counter.insert(np.array(inserts, dtype=np.int64)) if inserts else None
+        batch = DegreeSequence.from_column(np.array(initial + inserts))
+        assert counter.degree_sequence().expand().tolist() == batch.expand().tolist()
+
+
+class TestIncrementalColumnStats:
+    def _assert_valid(self, stats: IncrementalColumnStats):
+        """The maintained CDS must dominate the true current CDS."""
+        true_cds = stats.counter.degree_sequence().to_cds()
+        maintained = stats.cds
+        grid = np.linspace(0, true_cds.domain_end, 40)
+        assert np.all(maintained(grid) >= true_cds(grid) - 1e-6 * (1 + true_cds(grid)))
+        assert maintained.total >= true_cds.total - 1e-6
+
+    def test_initial_state_valid(self):
+        rng = np.random.default_rng(1)
+        stats = IncrementalColumnStats((rng.zipf(1.5, 3000) - 1) % 200)
+        self._assert_valid(stats)
+
+    def test_valid_after_inserts_without_recompression(self):
+        rng = np.random.default_rng(2)
+        stats = IncrementalColumnStats((rng.zipf(1.5, 3000) - 1) % 200, slack=10.0)
+        for _ in range(5):
+            stats.insert((rng.zipf(1.5, 50) - 1) % 250)
+            self._assert_valid(stats)
+        assert stats.recompressions == 0  # huge slack: padding only
+
+    def test_valid_after_deletes(self):
+        rng = np.random.default_rng(3)
+        values = (rng.zipf(1.5, 2000) - 1) % 100
+        stats = IncrementalColumnStats(values, slack=10.0)
+        stats.delete(values[:200])
+        self._assert_valid(stats)
+
+    def test_recompression_triggers_and_tightens(self):
+        rng = np.random.default_rng(4)
+        stats = IncrementalColumnStats((rng.zipf(1.5, 1000) - 1) % 100, slack=0.05)
+        stats.insert((rng.zipf(1.5, 300) - 1) % 150)
+        assert stats.recompressions >= 1
+        self._assert_valid(stats)
+        assert stats.padding_overhead == pytest.approx(
+            stats.cds.total / stats.counter.cardinality - 1, abs=1e-9
+        )
+
+    def test_mixed_update_stream_stays_valid(self):
+        rng = np.random.default_rng(5)
+        values = (rng.zipf(1.4, 2000) - 1) % 120
+        stats = IncrementalColumnStats(values, slack=0.2)
+        live = list(values.tolist())
+        for step in range(12):
+            if rng.random() < 0.6 or len(live) < 50:
+                batch = ((rng.zipf(1.4, 80) - 1) % 150).tolist()
+                stats.insert(np.array(batch))
+                live += batch
+            else:
+                idx = rng.choice(len(live), 40, replace=False)
+                batch = [live[i] for i in idx]
+                for i in sorted(idx, reverse=True):
+                    live.pop(i)
+                stats.delete(np.array(batch))
+            self._assert_valid(stats)
+
+    def test_empty_start_then_inserts(self):
+        stats = IncrementalColumnStats(np.array([], dtype=np.int64), slack=10.0)
+        stats.insert(np.array([7, 7, 8]))
+        self._assert_valid(stats)
