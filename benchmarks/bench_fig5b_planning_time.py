@@ -9,8 +9,9 @@ EXPERIMENTS.md).
 from repro.harness import fig5b_planning_time, format_table
 
 
-def test_fig5b_planning_time(benchmark, suite, show):
+def test_fig5b_planning_time(benchmark, suite, show, planning_snapshot):
     rows = benchmark(fig5b_planning_time, suite)
+    planning_snapshot(rows, suite)
     show(format_table(
         ["workload", "method", "median planning ms"],
         rows,

@@ -9,12 +9,18 @@ EXPERIMENTS.md for the mapping).
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
 
 import pytest
 
 from repro.harness import SuiteConfig, run_end_to_end
 from repro.workloads import make_imdb
+
+# Planning-latency snapshot written by the Fig 5b benchmark so successive
+# PRs can track the trajectory (committed alongside the code).
+PLANNING_SNAPSHOT_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_planning.json"
 
 
 def bench_config() -> SuiteConfig:
@@ -37,6 +43,61 @@ def suite():
 @pytest.fixture(scope="session")
 def bench_imdb():
     return make_imdb(scale=0.2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def planning_snapshot():
+    """Persist the Fig 5b rows as ``benchmarks/BENCH_planning.json``.
+
+    The file is the cross-PR guard for planning latency: a future PR that
+    regresses the SafeBound online path shows up as a diff against the
+    committed snapshot.  Medians are wall-clock and machine-dependent, so
+    the snapshot is only refreshed when the bench runs at the default
+    configuration — a quick scaled-down run must not silently overwrite
+    the committed numbers with incomparable ones.
+    """
+    config = {
+        "scale": float(os.environ.get("REPRO_BENCH_SCALE", "0.2")),
+        "num_stats": int(os.environ.get("REPRO_BENCH_STATS", "30")),
+    }
+    at_defaults = config == {"scale": 0.2, "num_stats": 30}
+
+    def _write(rows: list[list], suite=None) -> None:
+        if not at_defaults:
+            print(
+                f"\n[planning_snapshot] non-default config {config}; "
+                f"not refreshing {PLANNING_SNAPSHOT_PATH.name}"
+            )
+            return
+        out_rows = []
+        for workload, method, median_ms in rows:
+            row = {
+                "workload": workload,
+                "method": method,
+                # NaN (method with no supported queries) -> JSON null.
+                "median_ms": round(median_ms, 3) if median_ms == median_ms else None,
+            }
+            if suite is not None:
+                # The runner's standalone estimates happen in one untimed
+                # batch call, so per-query planning medians alone would hide
+                # a regression in the estimators' (cacheable) conditioning
+                # work.  Track it here so the guard covers the full online
+                # path: batch estimation + planning.
+                result = suite[workload][method]
+                per_query = result.batch_estimate_seconds / max(len(result.records), 1)
+                row["batch_estimate_ms_per_query"] = round(per_query * 1000.0, 3)
+            out_rows.append(row)
+        payload = {
+            "bench": "fig5b_planning_time",
+            "unit": "ms",
+            "config": config,
+            "rows": out_rows,
+        }
+        PLANNING_SNAPSHOT_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    return _write
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,7 @@
 """SafeBound core: degree sequences, compression, conditioning, FDSB."""
 
-from .bound import FdsbEngine, worst_case_instance_column
+from .bound import CompiledSkeleton, FdsbEngine, compile_skeleton, worst_case_instance_column
+from .cache import LRUCache
 from .compression import (
     dominate_ds_compress,
     equi_depth_compress,
@@ -31,6 +32,9 @@ __all__ = [
     "ConditioningConfig",
     "DegreeSequence",
     "FdsbEngine",
+    "CompiledSkeleton",
+    "compile_skeleton",
+    "LRUCache",
     "worst_case_instance_column",
     "valid_compress",
     "equi_depth_compress",

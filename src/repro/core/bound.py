@@ -16,19 +16,33 @@ Cyclic queries take the minimum bound over spanning trees of the incidence
 graph (Sec 3.6); dropping an incidence edge simply means the relation stops
 participating in that join variable, which only weakens the query, so the
 result is still an upper bound.
+
+The incidence structure, forest decomposition and spanning-tree set depend
+only on the query *shape* (relations + join columns), not on predicates.
+They are compiled once per shape into a plain-array :class:`CompiledSkeleton`
+and cached, so the optimizer's DP — which bounds every connected subquery,
+and re-encounters the same shapes across predicate instantiations — pays
+only for the piecewise arithmetic on the hot path.
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np
 
 from ..db.query import Query
+from .cache import LRUCache
 from .piecewise import PiecewiseConstant, PiecewiseLinear
 
-__all__ = ["FdsbEngine", "worst_case_instance_column"]
+__all__ = [
+    "CompiledSkeleton",
+    "FdsbEngine",
+    "compile_skeleton",
+    "worst_case_instance_column",
+]
 
 
 def worst_case_instance_column(frequencies: np.ndarray) -> np.ndarray:
@@ -43,6 +57,141 @@ def worst_case_instance_column(frequencies: np.ndarray) -> np.ndarray:
     return np.repeat(np.arange(1, len(frequencies) + 1, dtype=np.int64), frequencies)
 
 
+@dataclass(frozen=True)
+class _SkeletonEdge:
+    """One collapsed relation/variable incidence.
+
+    ``columns`` holds every join column through which the relation touches
+    the variable; which one wins (the smaller conditioned total, Sec 3.6,
+    multi-column joins, method 2) depends on predicates, so the choice is
+    deferred to bound time.
+    """
+
+    rel: int
+    var: int
+    alias: str
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _TreePlan:
+    """A rooted evaluation schedule for one spanning tree / forest.
+
+    ``children[node]`` lists ``(child_node, edge_index)`` pairs in the
+    deterministic (sorted-node) order the message recursion consumes;
+    ``roots`` holds the root relation of every connected component.
+    """
+
+    children: tuple[tuple[tuple[int, int], ...], ...]
+    roots: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CompiledSkeleton:
+    """Predicate-independent structure of one query shape.
+
+    Relation nodes are ``0 .. len(aliases)-1`` (sorted alias order);
+    variable nodes follow.  ``plans`` has a single entry for Berge-acyclic
+    shapes and one entry per enumerated spanning tree otherwise.
+    """
+
+    aliases: tuple[str, ...]
+    num_vars: int
+    edges: tuple[_SkeletonEdge, ...]
+    plans: tuple[_TreePlan, ...]
+    is_forest: bool
+
+
+def _build_plan(
+    num_nodes: int, edges: tuple[_SkeletonEdge, ...], edge_subset: list[int]
+) -> _TreePlan:
+    """Root every component of the edge-induced forest at its least relation
+    node and record the child order the recursion will follow."""
+    adjacency: list[list[tuple[int, int]]] = [[] for _ in range(num_nodes)]
+    for ei in edge_subset:
+        edge = edges[ei]
+        adjacency[edge.rel].append((edge.var, ei))
+        adjacency[edge.var].append((edge.rel, ei))
+    for neighbors in adjacency:
+        neighbors.sort()
+    children: list[tuple[tuple[int, int], ...]] = [()] * num_nodes
+    roots: list[int] = []
+    seen = [False] * num_nodes
+    # Relation ids precede variable ids, so the first unseen node of every
+    # component is its least relation node — the root the recursion expects.
+    for start in range(num_nodes):
+        if seen[start]:
+            continue
+        roots.append(start)
+        seen[start] = True
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            kids = []
+            for nbr, ei in adjacency[node]:
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    kids.append((nbr, ei))
+                    stack.append(nbr)
+            children[node] = tuple(kids)
+    return _TreePlan(tuple(children), tuple(roots))
+
+
+def compile_skeleton(query: Query, max_spanning_trees: int = 64) -> CompiledSkeleton:
+    """Compile the query's incidence structure into plain arrays.
+
+    Parallel incidences (one relation touching a variable through several
+    columns) collapse to a single edge carrying all candidate columns, in
+    the multigraph's insertion order so bound-time selection matches the
+    uncompiled engine's first-smaller-total rule.
+    """
+    aliases = tuple(sorted(query.relations))
+    rel_id = {alias: i for i, alias in enumerate(aliases)}
+    num_rels = len(aliases)
+    variables = query.variables()
+    num_nodes = num_rels + len(variables)
+
+    edge_columns: dict[tuple[int, int], list[str]] = {}
+    for var_index, variable in enumerate(variables):
+        var_node = num_rels + var_index
+        for ref in sorted(variable):
+            columns = edge_columns.setdefault((rel_id[ref.alias], var_node), [])
+            if ref.column not in columns:
+                columns.append(ref.column)
+    edges = tuple(
+        _SkeletonEdge(rel, var, aliases[rel], tuple(columns))
+        for (rel, var), columns in edge_columns.items()
+    )
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    for i, edge in enumerate(edges):
+        graph.add_edge(edge.rel, edge.var, index=i)
+    is_forest = (
+        len(edges) == num_nodes - nx.number_connected_components(graph)
+    )
+    if is_forest:
+        plans = (_build_plan(num_nodes, edges, list(range(len(edges)))),)
+    else:
+        plans = tuple(
+            _build_plan(
+                num_nodes,
+                edges,
+                [graph.edges[u, v]["index"] for u, v in tree.edges()],
+            )
+            for tree in itertools.islice(
+                nx.SpanningTreeIterator(graph), max_spanning_trees
+            )
+        )
+    return CompiledSkeleton(
+        aliases=aliases,
+        num_vars=len(variables),
+        edges=edges,
+        plans=plans,
+        is_forest=is_forest,
+    )
+
+
 class FdsbEngine:
     """Evaluates the FDSB for a query given per-join-column CDSs.
 
@@ -51,12 +200,27 @@ class FdsbEngine:
     max_spanning_trees:
         Upper limit on the number of spanning trees enumerated for cyclic
         queries; the bound is the minimum over the trees seen.
+    skeleton_cache_size:
+        Capacity of the LRU cache of compiled query skeletons.
     """
 
-    def __init__(self, max_spanning_trees: int = 64) -> None:
+    def __init__(
+        self, max_spanning_trees: int = 64, skeleton_cache_size: int = 4096
+    ) -> None:
         self.max_spanning_trees = max_spanning_trees
+        self._skeletons = LRUCache(skeleton_cache_size)
 
     # ------------------------------------------------------------------
+    def compile(self, query: Query) -> CompiledSkeleton:
+        """The compiled skeleton of ``query``'s shape, cached across calls
+        (and across the optimizer DP's repeated subquery shapes)."""
+        key = query.skeleton_key()
+        skeleton = self._skeletons.get(key)
+        if skeleton is None:
+            skeleton = compile_skeleton(query, self.max_spanning_trees)
+            self._skeletons[key] = skeleton
+        return skeleton
+
     def bound(
         self,
         query: Query,
@@ -70,71 +234,46 @@ class FdsbEngine:
         cardinality bound of every alias (used for join-less relations and
         for truncating inconsistent totals).
         """
-        graph = self._build_graph(query, column_cds, alias_cardinality)
-        if self._is_forest(graph):
-            return self._bound_on_forest(graph)
-        best = np.inf
-        for tree in itertools.islice(
-            nx.SpanningTreeIterator(graph), self.max_spanning_trees
-        ):
-            # SpanningTreeIterator yields trees over the full node set;
-            # carry over node/edge attributes from the original graph.
-            forest = graph.edge_subgraph(tree.edges()).copy()
-            forest.add_nodes_from(graph.nodes(data=True))
-            best = min(best, self._bound_on_forest(forest))
-        return float(best)
+        return self.bound_compiled(self.compile(query), column_cds, alias_cardinality)
 
     # ------------------------------------------------------------------
-    def _build_graph(
+    def bound_compiled(
         self,
-        query: Query,
+        skeleton: CompiledSkeleton,
         column_cds: dict[tuple[str, str], PiecewiseLinear],
         alias_cardinality: dict[str, float],
-    ) -> nx.Graph:
-        """Simple incidence graph with CDSs attached to the edges.
-
-        Parallel incidences (one relation touching a variable through two
-        columns) collapse to the column with the smaller total; the other
-        condition is dropped, which only weakens the query (Sec 3.6,
-        multi-column joins, method 2).
-        """
-        multi = query.incidence_graph()
-        g = nx.Graph()
-        for node in multi.nodes:
-            g.add_node(node)
-            if node[0] == "rel":
-                g.nodes[node]["cardinality"] = float(
-                    alias_cardinality.get(node[1], np.inf)
-                )
-        for u, v, data in multi.edges(data=True):
-            rel = u if u[0] == "rel" else v
-            var = v if v[0] == "var" else u
-            cds = column_cds[(rel[1], data["column"])]
-            if g.has_edge(rel, var):
-                if cds.total < g.edges[rel, var]["cds"].total:
-                    g.edges[rel, var]["cds"] = cds
-            else:
-                g.add_edge(rel, var, cds=cds)
-        return g
-
-    @staticmethod
-    def _is_forest(graph: nx.Graph) -> bool:
-        return graph.number_of_edges() == graph.number_of_nodes() - nx.number_connected_components(graph)
+    ) -> float:
+        """Upper bound for a query of ``skeleton``'s shape with the given
+        predicate instantiation."""
+        edge_cds: list[PiecewiseLinear] = []
+        for edge in skeleton.edges:
+            best = column_cds[(edge.alias, edge.columns[0])]
+            for column in edge.columns[1:]:
+                candidate = column_cds[(edge.alias, column)]
+                if candidate.total < best.total:
+                    best = candidate
+            edge_cds.append(best)
+        cards = [
+            float(alias_cardinality.get(alias, np.inf)) for alias in skeleton.aliases
+        ]
+        best_bound = np.inf
+        for plan in skeleton.plans:
+            total = 1.0
+            for root in plan.roots:
+                total *= self._count_at_root(plan.children, root, edge_cds, cards)
+                if total == 0.0:
+                    break
+            best_bound = min(best_bound, total)
+        return float(best_bound)
 
     # ------------------------------------------------------------------
-    def _bound_on_forest(self, graph: nx.Graph) -> float:
-        total = 1.0
-        for component in nx.connected_components(graph):
-            rel_nodes = sorted(n for n in component if n[0] == "rel")
-            if not rel_nodes:
-                continue
-            root = rel_nodes[0]
-            total *= self._count_at_root(graph, root)
-            if total == 0.0:
-                return 0.0
-        return float(total)
-
-    def _count_at_root(self, graph: nx.Graph, rel_node) -> float:
+    def _count_at_root(
+        self,
+        children: tuple[tuple[tuple[int, int], ...], ...],
+        root: int,
+        edge_cds: list[PiecewiseLinear],
+        cards: list[float],
+    ) -> float:
         """Integrate the product of child messages over tuple positions.
 
         For the root relation R with unary children ``A_l`` on variables
@@ -142,47 +281,49 @@ class FdsbEngine:
         prod_l f_Al(F_l^{-1}(p))`` — the position-based form of the final
         beta step, which avoids designating a root column.
         """
-        neighbors = sorted(graph.neighbors(rel_node))
-        if not neighbors:
-            return graph.nodes[rel_node]["cardinality"]
-        cardinality = min(
-            graph.nodes[rel_node]["cardinality"],
-            min(graph.edges[rel_node, v]["cds"].total for v in neighbors),
-        )
+        kids = children[root]
+        if not kids:
+            return cards[root]
+        cardinality = min(cards[root], min(edge_cds[ei].total for _, ei in kids))
         weight = PiecewiseConstant.constant(1.0, cardinality)
-        for var_node in neighbors:
-            message = self._var_message(graph, rel_node, var_node)
+        for var_node, ei in kids:
+            message = self._var_message(children, var_node, edge_cds)
             if message is None:
                 continue
-            cds = graph.edges[rel_node, var_node]["cds"]
-            composed = message.compose_with(cds.inverse())
+            composed = message.compose_with(edge_cds[ei].inverse())
             weight = weight.multiply(composed)
         return weight.integral()
 
-    def _var_message(self, graph: nx.Graph, parent_rel, var_node) -> PiecewiseConstant | None:
+    def _var_message(
+        self,
+        children: tuple[tuple[tuple[int, int], ...], ...],
+        var_node: int,
+        edge_cds: list[PiecewiseLinear],
+    ) -> PiecewiseConstant | None:
         """Alpha step: multiply the messages of all child relations."""
         combined: PiecewiseConstant | None = None
-        for child in sorted(graph.neighbors(var_node)):
-            if child == parent_rel:
-                continue
-            msg = self._rel_message(graph, child, var_node)
+        for rel_node, ei in children[var_node]:
+            msg = self._rel_message(children, rel_node, ei, edge_cds)
             combined = msg if combined is None else combined.multiply(msg)
         return combined
 
-    def _rel_message(self, graph: nx.Graph, rel_node, parent_var) -> PiecewiseConstant:
+    def _rel_message(
+        self,
+        children: tuple[tuple[tuple[int, int], ...], ...],
+        rel_node: int,
+        parent_edge: int,
+        edge_cds: list[PiecewiseLinear],
+    ) -> PiecewiseConstant:
         """Beta step: star-join ``rel_node`` with its child messages and
         project onto the parent variable (Algorithm 2, line 9)."""
-        parent_cds = graph.edges[rel_node, parent_var]["cds"]
+        parent_cds = edge_cds[parent_edge]
         result = parent_cds.delta()
-        for var_node in sorted(graph.neighbors(rel_node)):
-            if var_node == parent_var:
-                continue
-            message = self._var_message(graph, rel_node, var_node)
+        for var_node, ei in children[rel_node]:
+            message = self._var_message(children, var_node, edge_cds)
             if message is None:
                 continue
-            child_cds = graph.edges[rel_node, var_node]["cds"]
             # i -> F_l^{-1}( F_0(i) ): rank in the child column of the
             # worst-case tuple holding parent rank i.
-            inner = child_cds.inverse().compose(parent_cds)
+            inner = edge_cds[ei].inverse().compose(parent_cds)
             result = result.multiply(message.compose_with(inner))
         return result

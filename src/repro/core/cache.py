@@ -1,0 +1,73 @@
+"""Bounded caches shared by the online estimation path.
+
+The optimizer's DP asks SafeBound for every connected subquery, and the
+same (table, predicate) conditioning work and the same query *shapes*
+recur across subqueries and across workload queries.  Both caches must be
+bounded for a long-running service; a plain dict with an insert cap stops
+adapting once full, so eviction is least-recently-used.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Only the operations the estimation path needs: ``get`` (refreshes
+    recency), item assignment (inserts or refreshes, evicting the oldest
+    entry past ``maxsize``), ``clear``, and hit/miss counters for
+    observability.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def __getitem__(self, key: Hashable) -> Any:
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(maxsize={self.maxsize}, size={len(self._data)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

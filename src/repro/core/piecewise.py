@@ -169,7 +169,10 @@ class PiecewiseConstant:
         """Pointwise product; the domain is the intersection of domains.
 
         This is the alpha step of Algorithm 2: intersecting unary relations
-        multiplies the multiplicity of each join value.
+        multiplies the multiplicity of each join value.  Works directly on
+        the merged breakpoint set: every merged edge falls inside (or on the
+        right edge of) exactly one segment of each factor, so one
+        ``searchsorted`` per factor yields all segment values at once.
         """
         end = min(self.domain_end, other.domain_end)
         if end <= 0:
@@ -178,8 +181,9 @@ class PiecewiseConstant:
         edges = edges[edges <= end + _EPS]
         if not len(edges) or edges[-1] < end - _EPS:
             edges = np.concatenate((edges, [end]))
-        mids = (np.concatenate(([0.0], edges[:-1])) + edges) / 2.0
-        vals = self(mids) * other(mids)
+        ia = np.minimum(np.searchsorted(self.xs, edges, side="left"), len(self.ys) - 1)
+        ib = np.minimum(np.searchsorted(other.xs, edges, side="left"), len(other.ys) - 1)
+        vals = self.ys[ia] * other.ys[ib]
         return PiecewiseConstant(edges, vals).simplify()
 
     def cumulative(self) -> "PiecewiseLinear":
@@ -212,7 +216,12 @@ class PiecewiseConstant:
         if not len(edges) or edges[-1] < inner_end - _EPS:
             edges = np.concatenate((edges, [inner_end]))
         mids = (np.concatenate(([0.0], edges[:-1])) + edges) / 2.0
-        vals = self(inner(mids))
+        inner_vals = np.interp(mids, inner.xs, inner.ys)
+        idx = np.minimum(
+            np.searchsorted(self.xs, inner_vals, side="left"), len(self.ys) - 1
+        )
+        inside = (inner_vals > 0) & (inner_vals <= self.domain_end + _EPS)
+        vals = np.where(inside, self.ys[idx], 0.0)
         return PiecewiseConstant(edges, vals).simplify()
 
 
@@ -297,13 +306,20 @@ class PiecewiseLinear:
     # Transformations
     # ------------------------------------------------------------------
     def delta(self) -> PiecewiseConstant:
-        """The derivative step function (the DS associated with this CDS)."""
-        if len(self.xs) < 2:
-            return PiecewiseConstant.empty()
-        dx = np.diff(self.xs)
-        dy = np.diff(self.ys)
-        slopes = dy / dx
-        return PiecewiseConstant(self.xs[1:], slopes).simplify()
+        """The derivative step function (the DS associated with this CDS).
+
+        Memoised: beta steps re-derive the same CDS on every bound call, so
+        the step function is computed once per (immutable) instance.
+        """
+        cached = getattr(self, "_delta", None)
+        if cached is None:
+            if len(self.xs) < 2:
+                cached = PiecewiseConstant.empty()
+            else:
+                slopes = np.diff(self.ys) / np.diff(self.xs)
+                cached = PiecewiseConstant(self.xs[1:], slopes).simplify()
+            object.__setattr__(self, "_delta", cached)
+        return cached
 
     def inverse_values(self, values: np.ndarray) -> np.ndarray:
         """Pseudo-inverse ``F^{-1}(v) = min { x : F(x) >= v }`` (vectorised).
@@ -335,11 +351,18 @@ class PiecewiseLinear:
         must invert to the *leftmost* x of the run — ``F^{-1}(v) = min
         { x : F(x) >= v }`` — otherwise beta steps would evaluate child
         messages at inflated ranks and the bound could undershoot.
+
+        Memoised: every alpha/beta step inverts its CDS, and the same
+        conditioned CDSs are reused across all subqueries of a workload.
         """
-        ys = self.ys
-        xs = self.xs
-        keep = np.concatenate(([True], np.diff(ys) > _EPS))
-        return PiecewiseLinear(ys[keep], xs[keep])
+        cached = getattr(self, "_inverse", None)
+        if cached is None:
+            ys = self.ys
+            xs = self.xs
+            keep = np.concatenate(([True], np.diff(ys) > _EPS))
+            cached = PiecewiseLinear(ys[keep], xs[keep])
+            object.__setattr__(self, "_inverse", cached)
+        return cached
 
     def compose(self, inner: "PiecewiseLinear") -> "PiecewiseLinear":
         """Return ``x -> self(inner(x))`` for a nondecreasing ``inner``."""

@@ -11,11 +11,12 @@ from dataclasses import dataclass, field
 
 from ..db.database import Database
 from ..db.query import Query
-from .bound import FdsbEngine
+from .bound import CompiledSkeleton, FdsbEngine
+from .cache import LRUCache
 from .conditioning import ConditioningConfig
 from .piecewise import PiecewiseLinear, pointwise_min
 from .predicates import And, Eq, InList, Like, Or, Predicate, Range
-from .stats_builder import SafeBoundStats, build_statistics
+from .stats_builder import RelationStats, SafeBoundStats, build_statistics
 
 __all__ = ["SafeBound", "SafeBoundConfig"]
 
@@ -28,6 +29,9 @@ class SafeBoundConfig:
     precompute_pk_joins: bool = True
     build_trigrams: bool = True
     max_spanning_trees: int = 64
+    # Online-phase cache capacities (LRU-evicted).
+    conditioning_cache_entries: int = 50_000
+    skeleton_cache_entries: int = 4096
 
 
 def _rewrite_predicate(
@@ -73,6 +77,49 @@ def _rewrite_predicate(
     return None
 
 
+class _ConditionedRelation:
+    """Conditioning result of one (table, effective predicate) pair.
+
+    Holds the conditioned CDS of every declared join column, the implied
+    single-table bound, and — lazily, per requested column — the CDS
+    truncated at that bound (including the undeclared-column fallback of
+    Sec 3.6).  Shared through the conditioning cache, so the truncation is
+    paid once per pair rather than once per subquery.
+    """
+
+    __slots__ = ("single_table", "_rel", "_conditioned", "_bound_cds")
+
+    def __init__(self, rel: RelationStats, predicate: Predicate | None) -> None:
+        self._rel = rel
+        # Single-table bound: the min conditioned total over declared join
+        # columns (they all count the same filtered rows).
+        single_table = float(rel.cardinality)
+        conditioned: dict[str, PiecewiseLinear] = {}
+        for jcol, jstats in rel.join_stats.items():
+            cds = jstats.condition(predicate)
+            conditioned[jcol] = cds
+            single_table = min(single_table, cds.total)
+        self.single_table = single_table
+        self._conditioned = conditioned
+        self._bound_cds: dict[str, PiecewiseLinear] = {}
+
+    def cds_for(self, column: str) -> PiecewiseLinear:
+        cds = self._bound_cds.get(column)
+        if cds is None:
+            base = self._conditioned.get(column)
+            if base is None:
+                # Undeclared join column (Sec 3.6): truncate its
+                # unconditioned CDS to the single-table bound.
+                base = self._rel.fallback_cds.get(column)
+            if base is None:
+                base = PiecewiseLinear.from_breakpoints(
+                    [(0.0, 0.0), (1.0, float(self._rel.cardinality))]
+                )
+            cds = base.truncate_total(self.single_table)
+            self._bound_cds[column] = cds
+        return cds
+
+
 class SafeBound:
     """The first practical system for generating cardinality bounds."""
 
@@ -82,12 +129,14 @@ class SafeBound:
         self.config = config or SafeBoundConfig()
         self.stats: SafeBoundStats | None = None
         self._db: Database | None = None
-        self._engine = FdsbEngine(self.config.max_spanning_trees)
-        # (table, repr(effective predicate)) -> (conditioned CDS per join
-        # column, single-table bound).  The optimizer's DP estimates every
-        # connected subquery, and aliases repeat across subsets with the
-        # same predicate, so this cache carries most of the planning speed.
-        self._conditioning_cache: dict = {}
+        self._engine = FdsbEngine(
+            self.config.max_spanning_trees, self.config.skeleton_cache_entries
+        )
+        # (table, repr(effective predicate)) -> _ConditionedRelation.  The
+        # optimizer's DP estimates every connected subquery, and aliases
+        # repeat across subsets with the same predicate, so this cache
+        # carries most of the planning speed.
+        self._conditioning_cache = LRUCache(self.config.conditioning_cache_entries)
 
     # ------------------------------------------------------------------
     # Offline phase
@@ -101,7 +150,7 @@ class SafeBound:
             build_trigrams=self.config.build_trigrams,
         )
         self._db = db
-        self._conditioning_cache = {}
+        self._conditioning_cache.clear()
 
     def memory_bytes(self) -> int:
         return self.stats.memory_bytes() if self.stats else 0
@@ -120,45 +169,55 @@ class SafeBound:
         """A guaranteed upper bound on the query's output cardinality."""
         if self.stats is None:
             raise RuntimeError("SafeBound.build(db) must run before bound()")
+        return self._bound_compiled(query, self._engine.compile(query))
+
+    def bound_batch(self, queries: list[Query]) -> list[float]:
+        """Upper bounds for several queries, grouped by query shape.
+
+        Queries sharing a skeleton (the optimizer DP's repeated subquery
+        shapes, or one template's predicate instantiations) are bounded
+        against one compiled skeleton, and their conditioning/truncation
+        work flows through the shared caches.
+        """
+        if self.stats is None:
+            raise RuntimeError("SafeBound.build(db) must run before bound_batch()")
+        results = [0.0] * len(queries)
+        groups: dict[tuple, list[int]] = {}
+        for i, query in enumerate(queries):
+            groups.setdefault(query.skeleton_key(), []).append(i)
+        for indices in groups.values():
+            skeleton = self._engine.compile(queries[indices[0]])
+            for i in indices:
+                results[i] = self._bound_compiled(queries[i], skeleton)
+        return results
+
+    def _bound_compiled(self, query: Query, skeleton: CompiledSkeleton) -> float:
         effective = self._effective_predicates(query)
         column_cds: dict[tuple[str, str], PiecewiseLinear] = {}
         alias_cardinality: dict[str, float] = {}
         for alias, tname in query.relations.items():
-            rel = self.stats.relations[tname]
-            predicate = effective.get(alias)
-            cache_key = (tname, repr(predicate))
-            cached = self._conditioning_cache.get(cache_key)
-            if cached is None:
-                # Single-table bound: the min conditioned total over declared
-                # join columns (they all count the same filtered rows).
-                single_table = float(rel.cardinality)
-                conditioned: dict[str, PiecewiseLinear] = {}
-                for jcol, jstats in rel.join_stats.items():
-                    cds = jstats.condition(predicate)
-                    conditioned[jcol] = cds
-                    single_table = min(single_table, cds.total)
-                cached = (conditioned, single_table)
-                if len(self._conditioning_cache) < 50_000:
-                    self._conditioning_cache[cache_key] = cached
-            conditioned, single_table = cached
-            alias_cardinality[alias] = single_table
+            conditioned = self._conditioned_relation(tname, effective.get(alias))
+            alias_cardinality[alias] = conditioned.single_table
             for col in query.join_columns_of(alias):
-                if col in conditioned:
-                    cds = conditioned[col]
-                elif col in rel.fallback_cds:
-                    # Undeclared join column (Sec 3.6): truncate its
-                    # unconditioned CDS to the single-table bound.
-                    cds = rel.fallback_cds[col]
-                else:
-                    cds = PiecewiseLinear.from_breakpoints(
-                        [(0.0, 0.0), (1.0, float(rel.cardinality))]
-                    )
-                column_cds[(alias, col)] = cds.truncate_total(single_table)
-        return self._engine.bound(query, column_cds, alias_cardinality)
+                column_cds[(alias, col)] = conditioned.cds_for(col)
+        return self._engine.bound_compiled(skeleton, column_cds, alias_cardinality)
 
-    # Alias so SafeBound satisfies the CardinalityEstimator protocol.
+    def _conditioned_relation(
+        self, tname: str, predicate: Predicate | None
+    ) -> _ConditionedRelation:
+        cache_key = (tname, repr(predicate))
+        cached = self._conditioning_cache.get(cache_key)
+        if cached is None:
+            cached = _ConditionedRelation(self.stats.relations[tname], predicate)
+            self._conditioning_cache[cache_key] = cached
+        return cached
+
+    # Aliases so SafeBound satisfies the CardinalityEstimator protocol.
     def estimate(self, query: Query) -> float:
         return self.bound(query)
+
+    def estimate_batch(self, queries: list[Query]) -> list[float]:
+        return self.bound_batch(queries)
 
     # ------------------------------------------------------------------
     def _effective_predicates(self, query: Query) -> dict[str, Predicate]:

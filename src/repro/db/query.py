@@ -165,14 +165,23 @@ class Query:
             predicates={a: p for a, p in self.predicates.items() if a in aliases},
         )
 
-    def cache_key(self) -> tuple:
-        """A hashable identity for memoising estimates of this query."""
+    def skeleton_key(self) -> tuple:
+        """A hashable identity for the query *shape* (relations + joins).
+
+        Predicate-independent: all predicate instantiations of one shape
+        share a compiled skeleton in the FDSB engine.
+        """
         rels = tuple(sorted(self.relations.items()))
         joins = tuple(
             sorted(
                 (min(j.left, j.right), max(j.left, j.right)) for j in self.joins
             )
         )
+        return (rels, joins)
+
+    def cache_key(self) -> tuple:
+        """A hashable identity for memoising estimates of this query."""
+        rels, joins = self.skeleton_key()
         preds = tuple(sorted((a, repr(p)) for a, p in self.predicates.items()))
         return (rels, joins, preds)
 

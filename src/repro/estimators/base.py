@@ -5,6 +5,10 @@ Every compared system (Sec 5, "Compared Systems") implements:
 * ``build(db)`` — the offline phase (may be a no-op, e.g. PessEst);
 * ``estimate(query)`` — a cardinality estimate (or bound) for any
   conjunctive (sub)query;
+* ``estimate_batch(queries)`` — estimates for many (sub)queries at once;
+  the optimizer DP and the harness runner go through this entry point so
+  estimators can share work across a batch (SafeBound groups by query
+  skeleton);
 * ``memory_bytes()`` — size of the pre-computed statistics (Fig 8a).
 
 ``build_seconds`` is recorded by ``build`` implementations (Fig 8b).
@@ -36,6 +40,20 @@ class CardinalityEstimator:
 
     def estimate(self, query: Query) -> float:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def estimate_batch(self, queries: list[Query]) -> list[float | None]:
+        """Estimates for several queries; ``None`` marks an unsupported one.
+
+        The default delegates to scalar :meth:`estimate` per query;
+        estimators with work shareable across a batch override this.
+        """
+        out: list[float | None] = []
+        for query in queries:
+            try:
+                out.append(float(self.estimate(query)))
+            except UnsupportedQueryError:
+                out.append(None)
+        return out
 
     def memory_bytes(self) -> int:
         return 0

@@ -12,6 +12,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..db.database import Database
 from ..db.query import Query
 from ..estimators.base import CardinalityEstimator, UnsupportedQueryError
@@ -50,6 +52,12 @@ class MethodResult:
     records: list[QueryRecord] = field(default_factory=list)
     build_seconds: float = 0.0
     memory_bytes: int = 0
+    # Wall-clock of the single estimate_batch call producing the standalone
+    # full-query estimates.  Charged here, not to per-query planning time:
+    # it warms the estimator's caches (and, for the truth oracle, executes
+    # the queries), so folding it into the planning timer would misstate
+    # both numbers.
+    batch_estimate_seconds: float = 0.0
 
     def total_runtime(self) -> float:
         return sum(r.runtime for r in self.records if r.runtime is not None)
@@ -58,8 +66,6 @@ class MethodResult:
         return [r for r in self.records if r.supported]
 
     def median_planning_seconds(self) -> float:
-        import numpy as np
-
         times = [r.planning_seconds for r in self.supported_records()]
         return float(np.median(times)) if times else float("nan")
 
@@ -105,16 +111,27 @@ def run_workload(
             build_seconds=estimator.build_seconds,
             memory_bytes=estimator.memory_bytes(),
         )
-        for query in queries:
+        # Standalone estimates of the full queries come from one batch call,
+        # outside the planning timer: the timer should capture the planner's
+        # own work, not a duplicate top-level lookup (which, for the truth
+        # oracle, would charge a full query execution to planning time).
+        # The batch cost is recorded on the result so it stays visible.
+        started = time.perf_counter()
+        estimates = estimator.estimate_batch(queries)
+        result.batch_estimate_seconds = time.perf_counter() - started
+        for query, estimate in zip(queries, estimates):
             record = QueryRecord(query.name, cards[query.name])
-            try:
-                started = time.perf_counter()
-                record.estimate = float(estimator.estimate(query))
-                planned = planner.plan(query)
-                record.planning_seconds = time.perf_counter() - started
-                record.runtime = simulator.execute(query, planned.plan)
-            except UnsupportedQueryError:
+            if estimate is None:
                 record.supported = False
+            else:
+                record.estimate = float(estimate)
+                try:
+                    started = time.perf_counter()
+                    planned = planner.plan(query)
+                    record.planning_seconds = time.perf_counter() - started
+                    record.runtime = simulator.execute(query, planned.plan)
+                except UnsupportedQueryError:
+                    record.supported = False
             result.records.append(record)
         results[name] = result
     return results

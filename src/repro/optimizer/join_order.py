@@ -6,6 +6,12 @@ Postgres' optimizer is given estimates for *every* subquery through
 connected subset it considers.  Queries with many relations fall back to a
 greedy (GOO-style) heuristic, as real systems do beyond their DP budget.
 
+Estimates flow through the estimator's **batch** entry point: the DP
+gathers every connected subset of one size (plus the index-nested-loop
+prefilter subqueries that size unlocks) and requests them in a single
+``estimate_batch`` call, letting batch-aware estimators such as SafeBound
+share compiled skeletons and conditioning work across the level.
+
 The planner also decides physical operators — hash join, index
 nested-loop (when the inner is a base table with an index on the join
 column), or plain nested loop — which is where underestimates become
@@ -19,7 +25,7 @@ from dataclasses import dataclass
 
 from ..db.database import Database
 from ..db.query import Query
-from ..estimators.base import CardinalityEstimator
+from ..estimators.base import CardinalityEstimator, UnsupportedQueryError
 from .cost import CostModel
 from .plans import JoinNode, PlanNode, ScanNode
 
@@ -68,21 +74,31 @@ class Planner:
         )
 
     # ------------------------------------------------------------------
-    def _estimate(self, query: Query, subset: frozenset[str]) -> float:
-        self._estimate_calls += 1
-        sub = query.induced_subquery(subset)
-        est = self.estimator.estimate(sub)
-        return max(float(est), 1.0)
+    def _estimate_subqueries(self, subqueries: list[Query]) -> list[float]:
+        """One batched estimator round trip; unsupported queries abort the
+        whole plan, matching the scalar path's exception behavior."""
+        if not subqueries:
+            return []
+        self._estimate_calls += len(subqueries)
+        estimates = self.estimator.estimate_batch(subqueries)
+        out = []
+        for est in estimates:
+            if est is None:
+                raise UnsupportedQueryError(
+                    f"{type(self.estimator).__name__} cannot estimate a subquery"
+                )
+            out.append(max(float(est), 1.0))
+        return out
 
-    def _estimate_prefilter(
+    def _prefilter_subquery(
         self, query: Query, outer: frozenset[str], inner_alias: str
-    ) -> float:
-        """Estimated rows an index on the inner produces *before* the inner
-        predicate applies (index probes return all key matches)."""
-        self._estimate_calls += 1
+    ) -> Query:
+        """The subquery whose cardinality an index probe on the inner
+        produces *before* the inner predicate applies (index probes return
+        all key matches)."""
         sub = query.induced_subquery(outer | {inner_alias})
         sub.predicates.pop(inner_alias, None)
-        return max(float(self.estimator.estimate(sub)), 1.0)
+        return sub
 
     def _has_index(self, query: Query, alias: str, column: str) -> bool:
         if not self.indexes_enabled:
@@ -98,12 +114,19 @@ class Planner:
         return None
 
     # ------------------------------------------------------------------
-    def _scan_node(self, query: Query, alias: str) -> tuple[ScanNode, float]:
-        table = query.relations[alias]
-        est = self._estimate(query, frozenset([alias]))
-        node = ScanNode(est_rows=est, alias=alias, table=table)
-        cost = self.cost.scan(self.db.table(table).num_rows)
-        return node, cost
+    def _scan_nodes(
+        self, query: Query, aliases: list[str]
+    ) -> list[tuple[ScanNode, float]]:
+        """Scan plans for every alias, estimated in one batch."""
+        estimates = self._estimate_subqueries(
+            [query.induced_subquery({alias}) for alias in aliases]
+        )
+        out = []
+        for alias, est in zip(aliases, estimates):
+            table = query.relations[alias]
+            node = ScanNode(est_rows=est, alias=alias, table=table)
+            out.append((node, self.cost.scan(self.db.table(table).num_rows)))
+        return out
 
     def _join_candidates(
         self,
@@ -113,8 +136,13 @@ class Planner:
         left_set: frozenset[str],
         right_set: frozenset[str],
         out_rows: float,
+        prefilter_rows: dict[tuple[frozenset[str], str], float],
     ):
-        """All physical joins of two subplans, with estimated total cost."""
+        """All physical joins of two subplans, with estimated total cost.
+
+        ``prefilter_rows`` holds the pre-batched index-probe estimates
+        keyed by ``(outer_set, inner_alias)``.
+        """
         left_node, left_cost = left
         right_node, right_cost = right
         # Hash join: build on the smaller estimated side.
@@ -149,10 +177,9 @@ class Planner:
             if len(inner_set) != 1:
                 continue
             inner_alias = next(iter(inner_set))
-            column = self._inner_join_column(query, outer_set, inner_alias)
-            if column is None or not self._has_index(query, inner_alias, column):
+            matched = prefilter_rows.get((outer_set, inner_alias))
+            if matched is None:
                 continue
-            matched = self._estimate_prefilter(query, outer_set, inner_alias)
             inner_rows = self.db.table(query.relations[inner_alias]).num_rows
             outer_node, outer_cost = outer_pair
             yield (
@@ -162,6 +189,22 @@ class Planner:
                     outer_node.est_rows, inner_rows, matched, out_rows
                 ),
             )
+
+    def _batch_prefilters(
+        self, query: Query, pairs: list[tuple[frozenset[str], str]]
+    ) -> dict[tuple[frozenset[str], str], float]:
+        """Batch-estimate the index-probe subqueries for every viable
+        (outer set, indexed inner alias) pair; non-indexed pairs are
+        filtered out here so the join-candidate loop stays estimator-free."""
+        keys = []
+        subqueries = []
+        for outer_set, inner_alias in pairs:
+            column = self._inner_join_column(query, outer_set, inner_alias)
+            if column is None or not self._has_index(query, inner_alias, column):
+                continue
+            keys.append((outer_set, inner_alias))
+            subqueries.append(self._prefilter_subquery(query, outer_set, inner_alias))
+        return dict(zip(keys, self._estimate_subqueries(subqueries)))
 
     # ------------------------------------------------------------------
     # Dynamic programming over connected subsets
@@ -198,34 +241,71 @@ class Planner:
             return frozenset(aliases[i] for i in range(n) if mask >> i & 1)
 
         best: dict[int, tuple[PlanNode, float]] = {}
-        for i, alias in enumerate(aliases):
-            best[1 << i] = self._scan_node(query, alias)
+        for i, scan in enumerate(self._scan_nodes(query, aliases)):
+            best[1 << i] = scan
+
+        masks_by_size: list[list[int]] = [[] for _ in range(n + 1)]
+        for mask in range(1, 1 << n):
+            size = mask.bit_count()
+            if size >= 2 and connected(mask):
+                masks_by_size[size].append(mask)
+
         full = (1 << n) - 1
-        for mask in range(1, full + 1):
-            if mask in best or not connected(mask):
+        for size in range(2, n + 1):
+            level = masks_by_size[size]
+            if not level:
                 continue
-            subset = to_set(mask)
-            out_rows = self._estimate(query, subset)
-            champion: tuple[PlanNode, float] | None = None
-            # Enumerate proper sub-masks; each (sub, mask^sub) split is
-            # considered once per orientation, which the candidates need.
-            sub = (mask - 1) & mask
-            while sub:
-                other = mask ^ sub
-                if sub < other:  # each unordered split once
+            subsets = {mask: to_set(mask) for mask in level}
+            # One estimator round trip for every connected subset of this
+            # size, and one more for the INLJ prefilters those unlock.
+            out_rows = dict(
+                zip(
+                    level,
+                    self._estimate_subqueries(
+                        [query.induced_subquery(subsets[mask]) for mask in level]
+                    ),
+                )
+            )
+            prefilter_pairs = []
+            for mask in level:
+                m = mask
+                while m:
+                    bit = m & -m
+                    m ^= bit
+                    if (mask ^ bit) in best:
+                        inner_alias = aliases[bit.bit_length() - 1]
+                        prefilter_pairs.append(
+                            (subsets[mask] - {inner_alias}, inner_alias)
+                        )
+            prefilter_rows = self._batch_prefilters(query, prefilter_pairs)
+
+            for mask in level:
+                champion: tuple[PlanNode, float] | None = None
+                # Enumerate proper sub-masks; each (sub, mask^sub) split is
+                # considered once per orientation, which the candidates need.
+                sub = (mask - 1) & mask
+                while sub:
+                    other = mask ^ sub
+                    if sub < other:  # each unordered split once
+                        sub = (sub - 1) & mask
+                        continue
+                    if sub in best and other in best:
+                        left_set, right_set = to_set(sub), to_set(other)
+                        if self._sets_joined(query, left_set, right_set):
+                            for node, cost in self._join_candidates(
+                                query,
+                                best[sub],
+                                best[other],
+                                left_set,
+                                right_set,
+                                out_rows[mask],
+                                prefilter_rows,
+                            ):
+                                if champion is None or cost < champion[1]:
+                                    champion = (node, cost)
                     sub = (sub - 1) & mask
-                    continue
-                if sub in best and other in best:
-                    left_set, right_set = to_set(sub), to_set(other)
-                    if self._sets_joined(query, left_set, right_set):
-                        for node, cost in self._join_candidates(
-                            query, best[sub], best[other], left_set, right_set, out_rows
-                        ):
-                            if champion is None or cost < champion[1]:
-                                champion = (node, cost)
-                sub = (sub - 1) & mask
-            if champion is not None:
-                best[mask] = champion
+                if champion is not None:
+                    best[mask] = champion
         if full not in best:
             # Disconnected query: greedily cross-join the components.
             return self._plan_greedy(query, aliases)
@@ -245,29 +325,49 @@ class Planner:
     # ------------------------------------------------------------------
     def _plan_greedy(self, query: Query, aliases: list[str]) -> tuple[PlanNode, float]:
         remaining: dict[frozenset[str], tuple[PlanNode, float]] = {}
-        for alias in aliases:
-            remaining[frozenset([alias])] = self._scan_node(query, alias)
+        for alias, scan in zip(aliases, self._scan_nodes(query, aliases)):
+            remaining[frozenset([alias])] = scan
         while len(remaining) > 1:
+            keys = sorted(remaining, key=sorted)
+            pairs = [
+                (left_set, right_set)
+                for i, left_set in enumerate(keys)
+                for right_set in keys[i + 1 :]
+                if self._sets_joined(query, left_set, right_set)
+            ]
+            # Batch this round's union estimates and INLJ prefilters.
+            unions = sorted({l | r for l, r in pairs}, key=sorted)
+            union_rows = dict(
+                zip(
+                    unions,
+                    self._estimate_subqueries(
+                        [query.induced_subquery(u) for u in unions]
+                    ),
+                )
+            )
+            prefilter_pairs = [
+                (outer_set, next(iter(inner_set)))
+                for left_set, right_set in pairs
+                for outer_set, inner_set in ((left_set, right_set), (right_set, left_set))
+                if len(inner_set) == 1
+            ]
+            prefilter_rows = self._batch_prefilters(query, prefilter_pairs)
+
             champion = None
             champion_key = None
-            keys = sorted(remaining, key=sorted)
-            for i, left_set in enumerate(keys):
-                for right_set in keys[i + 1 :]:
-                    if not self._sets_joined(query, left_set, right_set):
-                        continue
-                    union = left_set | right_set
-                    out_rows = self._estimate(query, union)
-                    for node, cost in self._join_candidates(
-                        query,
-                        remaining[left_set],
-                        remaining[right_set],
-                        left_set,
-                        right_set,
-                        out_rows,
-                    ):
-                        if champion is None or cost < champion[1]:
-                            champion = (node, cost)
-                            champion_key = (left_set, right_set)
+            for left_set, right_set in pairs:
+                for node, cost in self._join_candidates(
+                    query,
+                    remaining[left_set],
+                    remaining[right_set],
+                    left_set,
+                    right_set,
+                    union_rows[left_set | right_set],
+                    prefilter_rows,
+                ):
+                    if champion is None or cost < champion[1]:
+                        champion = (node, cost)
+                        champion_key = (left_set, right_set)
             if champion is None:
                 # Only cross products remain: merge the two smallest.
                 keys = sorted(remaining, key=lambda k: remaining[k][0].est_rows)

@@ -202,7 +202,9 @@ def generate_stats_queries(db: Database, num_queries: int = 146, seed: int = 80)
                 continue
         num_preds = int(rng.integers(2, 7))
         pool = []
-        for t in tables:
+        # Iterate in sorted order: set order depends on PYTHONHASHSEED and
+        # would make the generated workload differ across processes.
+        for t in sorted(tables):
             pool += [(t, c, k) for c, k in _NUMERIC_PREDICATES[t]]
         rng.shuffle(pool)
         per_alias: dict[str, list] = {}

@@ -162,6 +162,104 @@ class TestCyclicQueries:
             assert full <= tree_bound + 1e-6 * (1 + tree_bound)
 
 
+class TestCyclicSpanningTreePath:
+    """Direct coverage of the min-over-spanning-trees branch (Sec 3.6)."""
+
+    def _triangle(self, seed: int, n: int = 30):
+        rng = np.random.default_rng(seed)
+        db = _make_db(
+            {
+                "R": {"x": rng.integers(0, 5, n), "y": rng.integers(0, 5, n)},
+                "S": {"y": rng.integers(0, 5, n), "z": rng.integers(0, 5, n)},
+                "T": {"z": rng.integers(0, 5, n), "x": rng.integers(0, 5, n)},
+            }
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+        q.add_join("r", "y", "s", "y").add_join("s", "z", "t", "z").add_join("t", "x", "r", "x")
+        return db, q
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_triangle_bound_equals_min_over_trees(self, trial):
+        """The triangle's incidence graph is a 6-cycle; each spanning tree
+        drops one incidence, which (with exact CDSs) bounds exactly like the
+        query with that join removed.  The engine's bound must therefore
+        equal the minimum over the three join-drop variants."""
+        db, q = self._triangle(500 + trial)
+        cds, cards = _exact_cds(db, q)
+        engine = FdsbEngine(max_spanning_trees=16)
+        full = engine.bound(q, cds, cards)
+        tree_bounds = []
+        for drop in range(3):
+            q2 = Query(
+                relations=dict(q.relations),
+                joins=[j for i, j in enumerate(q.joins) if i != drop],
+                predicates={},
+            )
+            cds2, cards2 = _exact_cds(db, q2)
+            tree_bounds.append(FdsbEngine().bound(q2, cds2, cards2))
+        assert full == pytest.approx(min(tree_bounds), rel=1e-9)
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_triangle_bound_upper_bounds_worst_case_instance(self, trial):
+        """The cyclic bound must dominate the query's size on the
+        materialised worst-case instance built from
+        ``worst_case_instance_column`` (and hence the original instance)."""
+        db, q = self._triangle(600 + trial, n=20)
+        cds, cards = _exact_cds(db, q)
+        fdsb = FdsbEngine().bound(q, cds, cards)
+        wc_card = Executor(_worst_case_db(db, q)).cardinality(q)
+        true_card = Executor(db).cardinality(q)
+        assert fdsb >= wc_card - 1e-6 * (1 + wc_card)
+        assert fdsb >= true_card - 1e-6
+
+    def test_truncated_tree_enumeration_stays_upper_bound(self):
+        """Even when max_spanning_trees truncates the enumeration, the
+        result is a min over *some* trees, so it is still an upper bound
+        and never below the full enumeration's bound."""
+        db, q = self._triangle(700)
+        cds, cards = _exact_cds(db, q)
+        full = FdsbEngine(max_spanning_trees=64).bound(q, cds, cards)
+        truncated = FdsbEngine(max_spanning_trees=2).bound(q, cds, cards)
+        true_card = Executor(db).cardinality(q)
+        assert truncated >= full - 1e-9 * (1 + full)
+        assert truncated >= true_card - 1e-6
+
+
+class TestCompiledSkeleton:
+    def test_skeleton_cached_across_predicate_instantiations(self):
+        db = _make_db(
+            {"R": {"x": np.arange(10) % 4}, "S": {"x": np.arange(14) % 4}}
+        )
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S")
+        q.add_join("r", "x", "s", "x")
+        engine = FdsbEngine()
+        first = engine.compile(q)
+        again = engine.compile(q)
+        assert first is again  # cached by shape, not by query object
+        cds, cards = _exact_cds(db, q)
+        assert engine.bound(q, cds, cards) == pytest.approx(
+            engine.bound_compiled(first, cds, cards)
+        )
+
+    def test_cyclic_skeleton_has_multiple_plans(self):
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S").add_relation("t", "T")
+        q.add_join("r", "y", "s", "y").add_join("s", "z", "t", "z").add_join("t", "x", "r", "x")
+        skeleton = FdsbEngine().compile(q)
+        assert not skeleton.is_forest
+        assert len(skeleton.plans) == 6  # spanning trees of the 6-cycle
+
+    def test_acyclic_skeleton_single_plan(self):
+        q = Query()
+        q.add_relation("r", "R").add_relation("s", "S")
+        q.add_join("r", "x", "s", "x")
+        skeleton = FdsbEngine().compile(q)
+        assert skeleton.is_forest
+        assert len(skeleton.plans) == 1
+
+
 class TestEdgeCases:
     def test_single_relation(self):
         db = _make_db({"R": {"x": np.arange(10)}})

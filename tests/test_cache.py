@@ -1,0 +1,68 @@
+"""LRU cache tests: bounded size, recency-based eviction, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_get_and_set(self):
+        cache = LRUCache(4)
+        cache["a"] = 1
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 7) == 7
+        assert "a" in cache and len(cache) == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache.get("a")  # refresh a; b becomes the LRU entry
+        cache["c"] = 3
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert len(cache) == 2
+
+    def test_overwrite_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["a"] = 10  # refresh a
+        cache["c"] = 3
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_never_exceeds_maxsize(self):
+        cache = LRUCache(8)
+        for i in range(100):
+            cache[i] = i
+        assert len(cache) == 8
+        assert all(i in cache for i in range(92, 100))
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache.get("a")
+        cache.get("a")
+        cache.get("nope")
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_getitem_raises_on_miss(self):
+        cache = LRUCache(2)
+        with pytest.raises(KeyError):
+            cache["nope"]

@@ -60,6 +60,26 @@ class TestTruth:
             TrueCardinalityEstimator().estimate(Query())
 
 
+class TestEstimateBatch:
+    def test_default_batch_matches_scalar(self, truth):
+        queries = [_star(), _star(dim_pred=Range("year", low=1960, high=1990))]
+        batch = truth.estimate_batch(queries)
+        assert batch == [truth.estimate(q) for q in queries]
+
+    def test_default_batch_marks_unsupported_as_none(self, tiny_db):
+        # BayesCard cannot handle LIKE predicates; the batch entry point
+        # reports that per query instead of aborting the whole batch.
+        est = BayesCardEstimator()
+        est.build(tiny_db)
+        supported = _star(dim_pred=Range("year", low=1960, high=1990))
+        unsupported = _star(dim_pred=Like("name", "Abd"))
+        batch = est.estimate_batch([supported, unsupported, supported])
+        assert batch[0] is not None and batch[2] is not None
+        assert batch[1] is None
+        with pytest.raises(UnsupportedQueryError):
+            est.estimate(unsupported)
+
+
 class TestPostgres:
     @pytest.fixture(scope="class")
     def postgres(self, tiny_db):

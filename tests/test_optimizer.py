@@ -129,6 +129,61 @@ class TestPlanner:
         assert 2 <= plan_depth(planned.plan) <= 3
 
 
+class _BatchRecordingEstimator(_ConstantEstimator):
+    """Counts batch vs scalar estimator traffic from the planner."""
+
+    def __init__(self, value: float) -> None:
+        super().__init__(value)
+        self.batch_calls = 0
+        self.batch_sizes: list[int] = []
+        self.scalar_calls = 0
+
+    def estimate(self, query):
+        self.scalar_calls += 1
+        return self.value
+
+    def estimate_batch(self, queries):
+        self.batch_calls += 1
+        self.batch_sizes.append(len(queries))
+        return [self.value] * len(queries)
+
+
+class TestBatchEstimation:
+    def test_dp_estimates_through_batches_only(self, tiny_db):
+        """The DP hot loop must not issue scalar estimate calls: every
+        subquery (scans, per-size levels, INLJ prefilters) goes through
+        ``estimate_batch``."""
+        est = _BatchRecordingEstimator(10.0)
+        planned = Planner(tiny_db, est).plan(_query(tiny_db))
+        assert est.scalar_calls == 0
+        assert est.batch_calls > 0
+        assert planned.estimate_calls == sum(est.batch_sizes)
+
+    def test_greedy_estimates_through_batches_only(self, tiny_db):
+        est = _BatchRecordingEstimator(10.0)
+        planner = Planner(tiny_db, est, dp_max_relations=1)  # force greedy
+        planner.plan(_query(tiny_db))
+        assert est.scalar_calls == 0
+        assert est.batch_calls > 0
+
+    def test_batch_plans_match_scalar_estimator_plans(self, tiny_db, truth):
+        """A batch-aware estimator and the scalar default must produce the
+        same plan for the same estimates."""
+        from repro.optimizer.plans import plan_aliases
+
+        q = _query(tiny_db)
+        scalar_plan = Planner(tiny_db, _ConstantEstimator(25.0)).plan(q)
+        batch_plan = Planner(tiny_db, _BatchRecordingEstimator(25.0)).plan(q)
+
+        def shape(node):
+            if isinstance(node, ScanNode):
+                return ("scan", node.alias)
+            return (node.method, shape(node.left), shape(node.right))
+
+        assert shape(scalar_plan.plan) == shape(batch_plan.plan)
+        assert plan_aliases(batch_plan.plan) == frozenset(q.relations)
+
+
 class TestSimulator:
     def test_runtime_positive_and_deterministic(self, tiny_db, truth):
         q = _query(tiny_db, dim_pred=Range("year", low=1960, high=1990))

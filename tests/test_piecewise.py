@@ -283,3 +283,26 @@ class TestConcaveEnvelope:
         E = concave_envelope(F)
         grid = np.linspace(0, 3, 13)
         npt.assert_allclose(E(grid), F(grid))
+
+
+class TestMemoisedKernels:
+    """inverse() and delta() are recomputed on every alpha/beta step of the
+    FDSB, so PiecewiseLinear memoises them per (immutable) instance."""
+
+    def test_inverse_memoised(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0, 5.0]), np.array([0.0, 4.0, 6.0]))
+        assert F.inverse() is F.inverse()
+
+    def test_delta_memoised(self):
+        F = PiecewiseLinear(np.array([0.0, 2.0, 5.0]), np.array([0.0, 4.0, 6.0]))
+        assert F.delta() is F.delta()
+
+    def test_memoised_values_unchanged(self):
+        F = PiecewiseLinear(np.array([0.0, 1.0, 3.0, 6.0]), np.array([0.0, 3.0, 5.0, 5.0]))
+        inv = F.inverse()
+        # leftmost-x convention on the flat tail
+        assert inv(5.0) == pytest.approx(3.0)
+        ds = F.delta()
+        assert ds(0.5) == pytest.approx(3.0)
+        assert ds(2.0) == pytest.approx(1.0)
+        assert ds.integral() == pytest.approx(F.total - F.ys[0])

@@ -196,6 +196,46 @@ class TestInterface:
         assert sb.num_sequences() > 0
         assert sb.build_seconds > 0
 
+    def test_estimate_batch_matches_scalar_bounds(self, built):
+        sb, _ = built
+        queries = [
+            _star_query(),
+            _star_query(preds_dim=Range("year", low=1960, high=1990)),
+            _star_query(preds_dim=Eq("year", 1975), facts=("fact",)),
+            _star_query(preds_fact=Eq("score", 5)),
+        ]
+        batch = sb.estimate_batch(queries)
+        assert batch == [sb.bound(q) for q in queries]
+
+    def test_estimate_batch_groups_shared_skeletons(self, built):
+        """Predicate variants of one shape share a compiled skeleton."""
+        sb, _ = built
+        queries = [
+            _star_query(preds_dim=Eq("year", 1960 + i)) for i in range(5)
+        ]
+        keys = {q.skeleton_key() for q in queries}
+        assert len(keys) == 1
+        batch = sb.bound_batch(queries)
+        assert batch == [sb.bound(q) for q in queries]
+
+    def test_estimate_batch_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            SafeBound().estimate_batch([Query()])
+
+    def test_conditioning_cache_is_bounded_lru(self, tiny_db):
+        config = SafeBoundConfig(conditioning_cache_entries=4)
+        sb = SafeBound(config)
+        sb.build(tiny_db)
+        for year in range(1950, 1990):
+            sb.bound(_star_query(preds_dim=Eq("year", year), facts=("fact",)))
+        assert len(sb._conditioning_cache) <= 4
+        # Eviction must not change results: re-bounding recomputes evicted
+        # entries and agrees with a cold system.
+        fresh = SafeBound()
+        fresh.build(tiny_db)
+        q = _star_query(preds_dim=Eq("year", 1950), facts=("fact",))
+        assert sb.bound(q) == pytest.approx(fresh.bound(q))
+
     def test_undeclared_join_column_fallback(self, built):
         """Joining on a column not in the declared join set (Sec 3.6)."""
         sb, ex = built
