@@ -24,7 +24,7 @@ from .piecewise import (
 from .predicates import And, Eq, InList, Like, Or, Predicate, Range
 from .safebound import SafeBound, SafeBoundConfig
 from .serialization import load_stats, save_stats, stats_file_bytes
-from .updates import FrequencyCounter, IncrementalColumnStats
+from .updates import FrequencyCounter, IncrementalColumnStats, pad_cds
 
 __all__ = [
     "SafeBound",
@@ -61,4 +61,5 @@ __all__ = [
     "stats_file_bytes",
     "FrequencyCounter",
     "IncrementalColumnStats",
+    "pad_cds",
 ]

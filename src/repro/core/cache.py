@@ -9,6 +9,7 @@ adapting once full, so eviction is least-recently-used.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -22,9 +23,15 @@ class LRUCache:
     recency), item assignment (inserts or refreshes, evicting the oldest
     entry past ``maxsize``), ``clear``, and hit/miss counters for
     observability.
+
+    Thread-safe: the estimation server shares one ``SafeBound`` (and hence
+    its conditioning and skeleton caches) across worker threads, and the
+    ingest path clears the conditioning cache concurrently with lookups.
+    ``move_to_end`` on a key evicted by a concurrent ``__setitem__`` would
+    raise ``KeyError``, so every recency-mutating operation takes the lock.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_data")
+    __slots__ = ("maxsize", "hits", "misses", "_data", "_lock")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize <= 0:
@@ -33,6 +40,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -41,30 +49,34 @@ class LRUCache:
         return key in self._data
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def __getitem__(self, key: Hashable) -> Any:
-        value = self._data[key]
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data[key]
+            self._data.move_to_end(key)
+            return value
 
     def __setitem__(self, key: Hashable, value: Any) -> None:
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        data[key] = value
-        if len(data) > self.maxsize:
-            data.popitem(last=False)
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+            data[key] = value
+            if len(data) > self.maxsize:
+                data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __repr__(self) -> str:
         return (

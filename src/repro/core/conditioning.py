@@ -35,6 +35,7 @@ from .piecewise import (
     pointwise_sum,
 )
 from .predicates import And, Eq, InList, Like, Or, Predicate, Range, trigrams
+from .updates import IncrementalColumnStats, pad_cds
 
 __all__ = [
     "ConditioningConfig",
@@ -455,16 +456,36 @@ class JoinColumnStats:
     base: PiecewiseLinear
     filters: dict[str, FilterColumnStats] = field(default_factory=dict)
     like_default_mode: str = "base"
+    # Live-update state (never serialised as-is; see core/updates.py).
+    # ``pending_inserts`` counts tuples inserted into the relation since
+    # these statistics were built: every stored CDS — base, MCV, histogram
+    # bucket, trigram — can be exceeded by at most that many tuples, so
+    # padding the *result* of any lookup by it preserves the
+    # never-underestimate guarantee between recompressions.
+    pending_inserts: float = 0.0
+    # Optional exact frequency tracker of this join column; when attached,
+    # the unconditioned path serves its self-recompressing CDS instead of
+    # the monotonically loosening padded base.
+    incremental: IncrementalColumnStats | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def condition(self, predicate: Predicate | None) -> PiecewiseLinear:
         """The CDS of this join column conditioned on a predicate tree."""
         if predicate is None:
-            return self.base
+            return self._unconditioned()
         cds = self._condition_node(predicate)
         if cds is None:
-            return self.base
-        return cds
+            # No usable filter information: same as unconditioned, so the
+            # (possibly self-recompressed, tighter) incremental CDS applies.
+            return self._unconditioned()
+        return pad_cds(cds, self.pending_inserts)
+
+    def _unconditioned(self) -> PiecewiseLinear:
+        if self.incremental is not None:
+            return self.incremental.cds
+        return pad_cds(self.base, self.pending_inserts)
 
     def _condition_node(self, node: Predicate) -> PiecewiseLinear | None:
         """None means "no information" (treated as the unconditioned CDS)."""

@@ -32,6 +32,10 @@ class SafeBoundConfig:
     # Online-phase cache capacities (LRU-evicted).
     conditioning_cache_entries: int = 50_000
     skeleton_cache_entries: int = 4096
+    # Attach per-join-column frequency counters at build time so
+    # apply_insert/apply_delete can maintain the statistics between
+    # recompress-and-republish cycles (see core/updates.py).
+    track_updates: bool = False
 
 
 def _rewrite_predicate(
@@ -109,8 +113,9 @@ class _ConditionedRelation:
             base = self._conditioned.get(column)
             if base is None:
                 # Undeclared join column (Sec 3.6): truncate its
-                # unconditioned CDS to the single-table bound.
-                base = self._rel.fallback_cds.get(column)
+                # unconditioned CDS (padded for any pending inserts) to
+                # the single-table bound.
+                base = self._rel.padded_fallback(column)
             if base is None:
                 base = PiecewiseLinear.from_breakpoints(
                     [(0.0, 0.0), (1.0, float(self._rel.cardinality))]
@@ -132,11 +137,16 @@ class SafeBound:
         self._engine = FdsbEngine(
             self.config.max_spanning_trees, self.config.skeleton_cache_entries
         )
-        # (table, repr(effective predicate)) -> _ConditionedRelation.  The
-        # optimizer's DP estimates every connected subquery, and aliases
+        # (epoch, table, repr(effective predicate)) -> _ConditionedRelation.
+        # The optimizer's DP estimates every connected subquery, and aliases
         # repeat across subsets with the same predicate, so this cache
-        # carries most of the planning speed.
+        # carries most of the planning speed.  The epoch counter advances on
+        # every statistics mutation: a conditioning result computed from
+        # pre-update statistics but stored *after* the update's cache clear
+        # lands under the old epoch and is never read again — without it,
+        # that race would permanently serve unpadded bounds.
         self._conditioning_cache = LRUCache(self.config.conditioning_cache_entries)
+        self._stats_epoch = 0
 
     # ------------------------------------------------------------------
     # Offline phase
@@ -148,9 +158,10 @@ class SafeBound:
             self.config.conditioning,
             precompute_pk_joins=self.config.precompute_pk_joins,
             build_trigrams=self.config.build_trigrams,
+            track_updates=self.config.track_updates,
         )
         self._db = db
-        self._conditioning_cache.clear()
+        self._invalidate_conditioning()
 
     def memory_bytes(self) -> int:
         return self.stats.memory_bytes() if self.stats else 0
@@ -161,6 +172,80 @@ class SafeBound:
     @property
     def build_seconds(self) -> float:
         return self.stats.build_seconds if self.stats else 0.0
+
+    # ------------------------------------------------------------------
+    # Persistence facade (over core/serialization.py)
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> int:
+        """Serialise the built statistics to ``path`` (an ``.npz`` archive);
+        returns the file size in bytes."""
+        if self.stats is None:
+            raise RuntimeError("SafeBound.build(db) must run before save()")
+        from .serialization import save_stats
+
+        return save_stats(self.stats, path)
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        db: Database | None = None,
+        config: SafeBoundConfig | None = None,
+    ) -> "SafeBound":
+        """A ready-to-serve SafeBound from statistics written by
+        :meth:`save`.  Pass ``db`` to re-attach update tracking (the
+        frequency counters are not serialised)."""
+        from .serialization import load_stats
+
+        sb = cls(config)
+        sb.stats = load_stats(path)
+        if db is not None:
+            sb.attach_update_tracking(db)
+        return sb
+
+    # ------------------------------------------------------------------
+    # Live updates (paper Sec 6, "Handling Updates")
+    # ------------------------------------------------------------------
+    def attach_update_tracking(self, db: Database) -> None:
+        """Attach exact join-column frequency counters from the database's
+        *current* contents — required before :meth:`apply_delete`, and what
+        lets unconditioned CDSs recompress between republish cycles."""
+        if self.stats is None:
+            raise RuntimeError("statistics must exist before tracking updates")
+        for name, rel in self.stats.relations.items():
+            if name in db:
+                rel.attach_incremental(
+                    db.table(name), self.config.conditioning.compression_accuracy
+                )
+        self._db = db
+
+    def apply_insert(self, table: str, rows: dict) -> int:
+        """Absorb an insert of ``rows`` (column -> values) into ``table``
+        while keeping every bound valid; returns the row count."""
+        if self.stats is None:
+            raise RuntimeError("SafeBound.build(db) must run before apply_insert()")
+        n = self.stats.apply_insert(table, rows)
+        self._invalidate_conditioning()
+        return n
+
+    def apply_delete(self, table: str, rows: dict) -> int:
+        """Absorb a delete of ``rows`` from ``table``; returns the count."""
+        if self.stats is None:
+            raise RuntimeError("SafeBound.build(db) must run before apply_delete()")
+        n = self.stats.apply_delete(table, rows)
+        self._invalidate_conditioning()
+        return n
+
+    def _invalidate_conditioning(self) -> None:
+        # Advance the epoch before clearing: in-flight conditioning work
+        # keyed to the old epoch can still be written afterwards but will
+        # never be read, and eventually falls out of the LRU.
+        self._stats_epoch += 1
+        self._conditioning_cache.clear()
+
+    def staleness(self) -> float:
+        """Worst relative padding overhead across relations (0 when fresh)."""
+        return self.stats.max_padding_overhead() if self.stats else 0.0
 
     # ------------------------------------------------------------------
     # Online phase
@@ -205,7 +290,7 @@ class SafeBound:
     def _conditioned_relation(
         self, tname: str, predicate: Predicate | None
     ) -> _ConditionedRelation:
-        cache_key = (tname, repr(predicate))
+        cache_key = (self._stats_epoch, tname, repr(predicate))
         cached = self._conditioning_cache.get(cache_key)
         if cached is None:
             cached = _ConditionedRelation(self.stats.relations[tname], predicate)
@@ -234,6 +319,13 @@ class SafeBound:
                 dim_table = query.relations[dim_ref.alias]
                 rel = self.stats.relations.get(fact_table)
                 if rel is None:
+                    continue
+                if dim_table in rel.stale_dims:
+                    # The dimension gained rows since this fact table's
+                    # virtual columns were materialised; a new dimension row
+                    # can turn a dangling FK into a match, so propagating its
+                    # predicate could under-select.  Skipping propagation
+                    # only weakens the bound.
                     continue
                 dim_pred = query.predicates.get(dim_ref.alias)
                 if dim_pred is None:

@@ -154,6 +154,12 @@ def save_stats(stats: SafeBoundStats, path: str) -> int:
             "fallback": {c: ar.put_pl(f) for c, f in rel.fallback_cds.items()},
             "virtual": [[list(k), v] for k, v in rel.virtual_columns.items()],
             "join_stats": {},
+            # Live-update state: padding counters and disabled propagation
+            # survive a save/load cycle so a reloaded archive of mid-cycle
+            # statistics stays sound.  (The frequency counters themselves
+            # are ingest state and are re-attached from the database.)
+            "pending_inserts": rel.pending_inserts,
+            "stale_dims": sorted(rel.stale_dims),
         }
         for col, js in rel.join_stats.items():
             filters = {}
@@ -167,6 +173,7 @@ def save_stats(stats: SafeBoundStats, path: str) -> int:
                 "base": ar.put_pl(js.base),
                 "like_mode": js.like_default_mode,
                 "filters": filters,
+                "pending_inserts": js.pending_inserts,
             }
         manifest["relations"][name] = rel_manifest
     ar.arrays["__manifest__"] = np.frombuffer(
@@ -192,11 +199,14 @@ def load_stats(path: str) -> SafeBoundStats:
         rel.virtual_columns = {
             tuple(k): v for k, v in rel_manifest["virtual"]
         }
+        rel.pending_inserts = rel_manifest.get("pending_inserts", 0)
+        rel.stale_dims = set(rel_manifest.get("stale_dims", []))
         for col, js_manifest in rel_manifest["join_stats"].items():
             js = JoinColumnStats(
                 column=col,
                 base=ar.get_pl(js_manifest["base"]),
                 like_default_mode=js_manifest["like_mode"],
+                pending_inserts=js_manifest.get("pending_inserts", 0.0),
             )
             for fcol, f_manifest in js_manifest["filters"].items():
                 fstats = FilterColumnStats()

@@ -20,10 +20,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..db.database import Database
+from ..db.table import Table
 from .compression import valid_compress
 from .conditioning import ConditioningConfig, JoinColumnStats, build_join_column_stats
 from .degree_sequence import DegreeSequence
 from .piecewise import PiecewiseLinear
+from .updates import IncrementalColumnStats, pad_cds
 
 __all__ = ["RelationStats", "SafeBoundStats", "build_statistics", "virtual_column_name"]
 
@@ -67,6 +69,14 @@ class RelationStats:
     fallback_cds: dict[str, PiecewiseLinear] = field(default_factory=dict)
     # (fk_column, dim_table, dim_pk_column, dim_filter_column) -> virtual name
     virtual_columns: dict[tuple[str, str, str, str], str] = field(default_factory=dict)
+    # Live-update state.  ``pending_inserts`` counts tuples inserted since
+    # build (pads every fallback CDS lookup); ``stale_dims`` names dimension
+    # tables that received inserts since build — their propagated virtual
+    # columns may under-select (a new dimension row can turn a previously
+    # dangling foreign key into a match), so predicate propagation across
+    # those joins must be skipped until the next rebuild.
+    pending_inserts: int = 0
+    stale_dims: set[str] = field(default_factory=set)
 
     def memory_bytes(self) -> int:
         total = sum(js.memory_bytes() for js in self.join_stats.values())
@@ -77,6 +87,88 @@ class RelationStats:
         return sum(js.num_sequences() for js in self.join_stats.values()) + len(
             self.fallback_cds
         )
+
+    # ------------------------------------------------------------------
+    # Live updates (paper Sec 6, "Handling Updates")
+    # ------------------------------------------------------------------
+    def attach_incremental(self, table: Table, accuracy: float = 0.01, slack: float = 0.1) -> None:
+        """Attach exact frequency counters of every join column, enabling
+        tight unconditioned CDSs and threshold-driven recompression between
+        full rebuilds.  The counters are ingest state, not statistics: they
+        are excluded from ``memory_bytes`` (the paper's stats-size metric)
+        and from serialisation."""
+        for col, js in self.join_stats.items():
+            if js.pending_inserts > 0:
+                # The stored base predates pending inserts, so it is NOT a
+                # valid compressed CDS of the table's current column —
+                # adopting it unpadded would underestimate.  Compress fresh
+                # from the live values instead (also tightens the bound).
+                js.incremental = IncrementalColumnStats(
+                    table.column(col), accuracy, slack
+                )
+            else:
+                js.incremental = IncrementalColumnStats.adopt(
+                    table.column(col), js.base, accuracy, slack
+                )
+
+    @staticmethod
+    def _row_count(rows: dict[str, np.ndarray]) -> int:
+        lengths = {len(np.asarray(v)) for v in rows.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"update columns have differing lengths: {lengths}")
+        return lengths.pop()
+
+    def _check_tracked_columns(self, rows: dict[str, np.ndarray], action: str) -> None:
+        """Validate *before* any mutation: raising halfway through the
+        column loop would leave some counters double-counting on a retry.
+        Join columns must be present whenever counters are attached — a
+        silently under-counted counter would recompress into an
+        underestimating CDS later."""
+        for col, js in self.join_stats.items():
+            if js.incremental is not None and col not in rows:
+                raise KeyError(
+                    f"{action} {self.table!r} must provide join column {col!r}"
+                )
+
+    def apply_insert(self, rows: dict[str, np.ndarray]) -> int:
+        """Register ``rows`` (column -> values) as inserted into the table.
+
+        Padding is raised *before* anything else so a concurrent reader can
+        never observe the new cardinality without the matching padding.
+        """
+        n = self._row_count(rows)
+        self._check_tracked_columns(rows, "insert into")
+        for col, js in self.join_stats.items():
+            js.pending_inserts += n
+            if js.incremental is not None:
+                js.incremental.insert(np.asarray(rows[col]))
+        self.pending_inserts += n
+        self.cardinality += n
+        return n
+
+    def apply_delete(self, rows: dict[str, np.ndarray]) -> int:
+        """Register ``rows`` as deleted.  Deletes never invalidate a
+        dominating CDS, so no padding is needed; counters shrink so the next
+        recompression tightens the bound back down."""
+        n = self._row_count(rows)
+        self._check_tracked_columns(rows, "delete from")
+        for col, js in self.join_stats.items():
+            if js.incremental is not None:
+                js.incremental.delete(np.asarray(rows[col]))
+        self.cardinality -= n
+        return n
+
+    def padded_fallback(self, column: str) -> PiecewiseLinear | None:
+        """The undeclared-join fallback CDS, padded for pending inserts."""
+        cds = self.fallback_cds.get(column)
+        if cds is None:
+            return None
+        return pad_cds(cds, self.pending_inserts)
+
+    def padding_overhead(self) -> float:
+        """Relative cardinality overhead of the conditioned-CDS padding —
+        the staleness signal driving recompress-and-republish cycles."""
+        return self.pending_inserts / max(self.cardinality, 1)
 
 
 @dataclass
@@ -92,14 +184,46 @@ class SafeBoundStats:
     def num_sequences(self) -> int:
         return sum(r.num_sequences() for r in self.relations.values())
 
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    def apply_insert(self, table: str, rows: dict[str, np.ndarray]) -> int:
+        """Keep all statistics valid across an insert of ``rows`` into
+        ``table`` (never-underestimate preserved via padding)."""
+        n = self.relations[table].apply_insert(rows)
+        # New dimension rows can turn dangling foreign keys into matches,
+        # so every fact table propagating predicates from `table` must stop
+        # doing so until its next rebuild.
+        for rel in self.relations.values():
+            if any(dtable == table for (_, dtable, _, _) in rel.virtual_columns):
+                rel.stale_dims.add(table)
+        return n
+
+    def apply_delete(self, table: str, rows: dict[str, np.ndarray]) -> int:
+        """Keep all statistics valid across a delete of ``rows`` from
+        ``table`` (deletes only shrink true CDSs — nothing loosens)."""
+        return self.relations[table].apply_delete(rows)
+
+    def max_padding_overhead(self) -> float:
+        """The worst per-relation staleness — drives republish decisions."""
+        if not self.relations:
+            return 0.0
+        return max(rel.padding_overhead() for rel in self.relations.values())
+
 
 def build_statistics(
     db: Database,
     config: ConditioningConfig | None = None,
     precompute_pk_joins: bool = True,
     build_trigrams: bool = True,
+    track_updates: bool = False,
 ) -> SafeBoundStats:
-    """Run SafeBound's offline phase over every table of the database."""
+    """Run SafeBound's offline phase over every table of the database.
+
+    With ``track_updates``, every join column additionally gets an exact
+    frequency counter so the statistics can absorb inserts/deletes through
+    :meth:`SafeBoundStats.apply_insert` / ``apply_delete`` between rebuilds.
+    """
     config = config or ConditioningConfig()
     started = time.perf_counter()
     stats = SafeBoundStats()
@@ -147,6 +271,9 @@ def build_statistics(
         for col in table.column_names:
             ds = DegreeSequence.from_column(table.column(col))
             rel.fallback_cds[col] = valid_compress(ds, config.compression_accuracy)
+
+        if track_updates:
+            rel.attach_incremental(table, config.compression_accuracy)
 
         stats.relations[name] = rel
     stats.build_seconds = time.perf_counter() - started

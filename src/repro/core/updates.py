@@ -29,9 +29,42 @@ import numpy as np
 
 from .compression import valid_compress
 from .degree_sequence import DegreeSequence
-from .piecewise import PiecewiseLinear
+from .piecewise import PiecewiseLinear, concave_envelope
 
-__all__ = ["FrequencyCounter", "IncrementalColumnStats"]
+__all__ = ["FrequencyCounter", "IncrementalColumnStats", "pad_cds"]
+
+
+def pad_cds(base: PiecewiseLinear, inserts: float) -> PiecewiseLinear:
+    """A CDS dominating every column state reachable from ``base`` by
+    ``inserts`` tuple insertions.
+
+    After ``k`` inserts, the true CDS can exceed the old one by at most
+    ``k`` at every rank >= 1, by ``x * k`` below rank 1, and the domain
+    can gain at most ``k`` new distinct values.  The padded CDS encodes
+    exactly that: a steep head segment up to rank ``t = min(1, old
+    domain)`` reaching ``F_old(t) + k``, the old breakpoints shifted up
+    by ``k``, and a tail extending the domain by ``k`` at total
+    ``|R|_old + k``.  Deletions never invalidate domination, so they need
+    no padding at all.
+    """
+    pad = float(inserts)
+    if pad <= 0.0:
+        return base
+    d = base.domain_end
+    if d <= 0:
+        # Everything was inserted since the last (empty) compression:
+        # worst case is one value holding all `pad` tuples (slope `pad`
+        # over the first rank), with up to `pad` distinct values total.
+        return PiecewiseLinear(
+            np.array([0.0, 1.0, max(pad, 1.0)]), np.array([0.0, pad, pad])
+        )
+    t = min(1.0, d)
+    head_x = [0.0, t]
+    head_y = [0.0, float(base(t)) + pad]
+    body = base.xs > t + 1e-12
+    xs = np.concatenate((head_x, base.xs[body], [d + pad]))
+    ys = np.concatenate((head_y, base.ys[body] + pad, [base.total + pad]))
+    return concave_envelope(PiecewiseLinear(xs, ys))
 
 
 class FrequencyCounter:
@@ -90,40 +123,40 @@ class IncrementalColumnStats:
         self._deletes_since_compress = 0
         self.recompressions = 0
 
+    @classmethod
+    def adopt(
+        cls,
+        values: np.ndarray,
+        compressed: PiecewiseLinear,
+        accuracy: float = 0.01,
+        slack: float = 0.1,
+    ) -> "IncrementalColumnStats":
+        """Wrap an *already compressed* CDS of ``values`` without re-running
+        ValidCompress — used by the stats builder, which just compressed the
+        very same column."""
+        stats = cls.__new__(cls)
+        stats.accuracy = accuracy
+        stats.slack = slack
+        stats.counter = FrequencyCounter(values)
+        stats._compressed = compressed
+        stats._inserts_since_compress = 0
+        stats._deletes_since_compress = 0
+        stats.recompressions = 0
+        return stats
+
     # ------------------------------------------------------------------
     @property
     def cds(self) -> PiecewiseLinear:
-        """The current valid (dominating) CDS.
+        """The current valid (dominating) CDS: the last compression padded
+        by the inserts seen since (:func:`pad_cds`).
 
-        After ``k`` inserts, the true CDS can exceed the old one by at most
-        ``k`` at every rank >= 1, by ``x * k`` below rank 1, and the domain
-        can gain at most ``k`` new distinct values.  The padded CDS below
-        encodes exactly that: a steep head segment up to rank
-        ``t = min(1, old domain)`` reaching ``F_old(t) + k``, the old
-        breakpoints shifted up by ``k``, and a tail extending the domain by
-        ``k`` at total ``|R|_old + k``.
+        Read order matters for lock-free readers: the insert count is read
+        *before* the compressed CDS, so a concurrent :meth:`recompress`
+        (which installs the new CDS first, then zeroes the counters) can
+        only ever over-pad, never under-pad.
         """
         pad = float(self._inserts_since_compress)
-        if pad == 0.0:
-            return self._compressed
-        base = self._compressed
-        from .piecewise import concave_envelope
-
-        d = base.domain_end
-        if d <= 0:
-            # Everything was inserted since the last (empty) compression:
-            # worst case is one value holding all `pad` tuples (slope `pad`
-            # over the first rank), with up to `pad` distinct values total.
-            return PiecewiseLinear(
-                np.array([0.0, 1.0, max(pad, 1.0)]), np.array([0.0, pad, pad])
-            )
-        t = min(1.0, d)
-        head_x = [0.0, t]
-        head_y = [0.0, float(base(t)) + pad]
-        body = base.xs > t + 1e-12
-        xs = np.concatenate((head_x, base.xs[body], [d + pad]))
-        ys = np.concatenate((head_y, base.ys[body] + pad, [base.total + pad]))
-        return concave_envelope(PiecewiseLinear(xs, ys))
+        return pad_cds(self._compressed, pad)
 
     @property
     def padding_overhead(self) -> float:
@@ -153,6 +186,9 @@ class IncrementalColumnStats:
         return True
 
     def recompress(self) -> None:
+        # Install the fresh CDS before zeroing the pad counters: a reader
+        # interleaving between the two assignments sees the new CDS with
+        # the stale (larger) pad — sound, merely loose.
         self._compressed = valid_compress(self.counter.degree_sequence(), self.accuracy)
         self._inserts_since_compress = 0
         self._deletes_since_compress = 0

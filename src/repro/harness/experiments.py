@@ -94,8 +94,16 @@ class SuiteConfig:
     methods: list[str] = field(default_factory=lambda: list(METHOD_ORDER))
 
 
-def default_estimators(methods: list[str] | None = None) -> dict:
-    """Factories for every compared system."""
+def default_estimators(
+    methods: list[str] | None = None, safebound_factory=None
+) -> dict:
+    """Factories for every compared system.
+
+    ``safebound_factory`` substitutes the plain in-process ``SafeBound``
+    with any protocol-compatible variant — e.g. a
+    ``repro.service.CatalogBackedSafeBound`` so the whole measurement
+    pipeline runs against catalog-published statistics.
+    """
     factories = {
         "TrueCardinality": TrueCardinalityEstimator,
         "Postgres": PostgresEstimator,
@@ -105,7 +113,7 @@ def default_estimators(methods: list[str] | None = None) -> dict:
         "NeuroCard": lambda: NeuroCardEstimator(num_walks=50),
         "PessEst": PessEstEstimator,
         "Simplicity": SimplicityEstimator,
-        "SafeBound": SafeBound,
+        "SafeBound": safebound_factory or SafeBound,
     }
     if methods is None:
         return factories

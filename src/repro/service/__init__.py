@@ -1,0 +1,32 @@
+"""The bound-serving subsystem: catalog, server, metrics, live ingest.
+
+Composes the library pieces into a long-running service:
+
+* :mod:`repro.service.catalog` — versioned on-disk statistics catalog
+  with atomic publish and hot version swap;
+* :mod:`repro.service.server` — micro-batching estimation server with
+  admission control and latency metrics;
+* :mod:`repro.service.ingest` — live insert/delete ingest with
+  background recompress-and-republish cycles;
+* ``python -m repro.service`` — a runnable throughput demo.
+"""
+
+from .catalog import CatalogBackedSafeBound, StatsCatalog, StatsVersion
+from .ingest import RepublishWorker, UpdateIngest, append_rows, remove_rows
+from .metrics import LatencyRecorder, ServerMetrics
+from .server import EstimationServer, ServerOverloadedError, generate_load
+
+__all__ = [
+    "StatsCatalog",
+    "StatsVersion",
+    "CatalogBackedSafeBound",
+    "EstimationServer",
+    "ServerOverloadedError",
+    "generate_load",
+    "LatencyRecorder",
+    "ServerMetrics",
+    "UpdateIngest",
+    "RepublishWorker",
+    "append_rows",
+    "remove_rows",
+]

@@ -1,0 +1,169 @@
+"""``python -m repro.service`` — a runnable bound-serving demo.
+
+Builds a synthetic movies/ratings database, publishes SafeBound statistics
+to an on-disk catalog, starts the micro-batching estimation server, drives
+it with a concurrent load generator, optionally streams inserts/deletes
+through the live-ingest path (with a background recompress-and-republish
+cycle the server hot-swaps), and prints a JSON metrics report.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.service
+    PYTHONPATH=src python -m repro.service --requests 2000 --concurrency 16
+    PYTHONPATH=src python -m repro.service --updates 5 --batch 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+import numpy as np
+
+from ..core.predicates import Eq, Like, Range
+from ..core.safebound import SafeBoundConfig
+from ..db.database import Database
+from ..db.query import Query
+from ..db.schema import Schema
+from ..db.table import Table
+from .catalog import CatalogBackedSafeBound, StatsCatalog
+from .ingest import RepublishWorker, UpdateIngest
+from .server import EstimationServer, generate_load
+
+
+def build_demo_database(n_movies: int = 2000, n_ratings: int = 40000, seed: int = 0) -> Database:
+    rng = np.random.default_rng(seed)
+    schema = Schema()
+    schema.add_table("movies", primary_key="id", filter_columns=["year", "title"])
+    schema.add_table("ratings", join_columns=["movie_id"], filter_columns=["stars"])
+    schema.add_foreign_key("ratings", "movie_id", "movies", "id")
+    db = Database(schema)
+    words = ["Casablanca", "Vertigo", "Alien", "Heat", "Arrival", "Amelie"]
+    titles = np.array(
+        [f"{words[int(w)]}{i % 101}" for i, w in enumerate(rng.integers(0, len(words), n_movies))],
+        dtype=object,
+    )
+    db.add_table(Table("movies", {
+        "id": np.arange(n_movies),
+        "year": rng.integers(1940, 2024, n_movies),
+        "title": titles,
+    }))
+    db.add_table(Table("ratings", {
+        "id": np.arange(n_ratings),
+        "movie_id": (rng.zipf(1.4, n_ratings) - 1) % n_movies,
+        "stars": rng.integers(1, 6, n_ratings),
+    }))
+    return db
+
+
+def demo_queries() -> list[Query]:
+    def q() -> Query:
+        return (
+            Query()
+            .add_relation("m", "movies")
+            .add_relation("r", "ratings")
+            .add_join("r", "movie_id", "m", "id")
+        )
+
+    queries = [
+        q().add_predicate("m", Range("year", low=1990, high=1999)),
+        q().add_predicate("m", Like("title", "Alien")).add_predicate("r", Eq("stars", 5)),
+        q().add_predicate("r", Eq("stars", 1)),
+        (
+            Query()
+            .add_relation("r1", "ratings")
+            .add_relation("r2", "ratings")
+            .add_join("r1", "movie_id", "r2", "movie_id")
+        ),
+    ]
+    for decade in range(1940, 2020, 10):
+        queries.append(q().add_predicate("m", Range("year", low=decade, high=decade + 9)))
+    return queries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description="SafeBound bound-serving demo"
+    )
+    parser.add_argument("--requests", type=int, default=500, help="load-generator requests")
+    parser.add_argument("--concurrency", type=int, default=8, help="client threads")
+    parser.add_argument("--batch", type=int, default=64, help="max micro-batch size")
+    parser.add_argument("--wait-ms", type=float, default=2.0, help="max batching wait")
+    parser.add_argument("--queue", type=int, default=1024, help="admission-control queue size")
+    parser.add_argument(
+        "--updates", type=int, default=0,
+        help="insert/delete rounds streamed through live ingest during the run",
+    )
+    parser.add_argument("--catalog", default=None, help="catalog root (default: temp dir)")
+    args = parser.parse_args(argv)
+
+    db = build_demo_database()
+    tmp = None
+    if args.catalog is None:
+        tmp = tempfile.TemporaryDirectory(prefix="safebound-catalog-")
+        root = tmp.name
+    else:
+        root = args.catalog
+
+    try:
+        catalog = StatsCatalog(root)
+        estimator = CatalogBackedSafeBound(
+            catalog, "demo", SafeBoundConfig(track_updates=True)
+        )
+        estimator.build(db)
+        published = catalog.latest("demo")
+        print(
+            f"published {published.label}: {published.file_bytes / 1024:.1f} KiB, "
+            f"{published.num_sequences} sequences, built in {published.build_seconds:.2f}s",
+            file=sys.stderr,
+        )
+
+        ingest = UpdateIngest(db, estimator, republish_overhead=0.05)
+        worker = RepublishWorker(ingest, poll_seconds=0.05) if args.updates else None
+        server = EstimationServer(
+            estimator,
+            max_queue=args.queue,
+            max_batch=args.batch,
+            max_wait_ms=args.wait_ms,
+            refresh_db=db,
+        )
+        queries = demo_queries()
+        rng = np.random.default_rng(1)
+        with server:
+            if worker is not None:
+                worker.start()
+            for round_no in range(args.updates):
+                n = 2000
+                start = db.table("ratings").num_rows + 1_000_000 * (round_no + 1)
+                ingest.insert("ratings", {
+                    "id": np.arange(start, start + n),
+                    "movie_id": (rng.zipf(1.4, n) - 1) % db.table("movies").num_rows,
+                    "stars": rng.integers(1, 6, n),
+                })
+                ingest.delete("ratings", rng.choice(db.table("ratings").num_rows, 500, replace=False))
+            report = generate_load(
+                server, queries, args.requests, concurrency=args.concurrency
+            )
+            if worker is not None:
+                worker.stop()
+        report.pop("results")
+        report["catalog_versions"] = [v.label for v in catalog.versions("demo")]
+        report["served_version"] = estimator.version
+        report["staleness"] = round(estimator.staleness(), 4)
+        if args.updates:
+            report["ingest"] = {
+                "inserted_rows": ingest.inserted_rows,
+                "deleted_rows": ingest.deleted_rows,
+                "republishes": ingest.republishes,
+            }
+        print(json.dumps(report, indent=2))
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,349 @@
+"""Versioned on-disk statistics catalog.
+
+The paper treats SafeBound's statistics as a build artifact measured by
+its file size on disk (Sec 5); a production deployment needs those
+artifacts *managed*: versioned per database, published atomically so a
+reader can never observe a half-written archive, discoverable through a
+manifest carrying build metadata, and hot-swappable into a running
+server without downtime.
+
+Layout on disk (one directory per logical database)::
+
+    <root>/
+      <database>/
+        MANIFEST.json       # ordered version list + build metadata
+        v000001.npz         # save_stats archives, immutable once published
+        v000002.npz
+
+Publishing writes the archive to a temporary name in the same directory
+and ``os.replace``s it into place, then rewrites the manifest the same
+way — both steps atomic on POSIX, so concurrent readers always see either
+the old or the new catalog state, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.safebound import SafeBound, SafeBoundConfig
+from ..core.serialization import load_stats, save_stats
+from ..core.stats_builder import SafeBoundStats
+from ..db.database import Database
+from ..db.query import Query
+from ..estimators.base import CardinalityEstimator
+
+__all__ = ["StatsVersion", "StatsCatalog", "CatalogBackedSafeBound"]
+
+_MANIFEST_NAME = "MANIFEST.json"
+
+
+@dataclass(frozen=True)
+class StatsVersion:
+    """One published statistics version of one database."""
+
+    database: str
+    version: int
+    filename: str
+    created_at: float
+    file_bytes: int
+    build_seconds: float
+    num_sequences: int
+    note: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"v{self.version:06d}"
+
+
+class StatsCatalog:
+    """A versioned statistics store over :func:`save_stats`/:func:`load_stats`.
+
+    Loaded versions are cached with pin/evict semantics: a server pins the
+    version it serves (immune to eviction); unpinned versions are evicted
+    least-recently-loaded beyond ``max_loaded``.
+    """
+
+    def __init__(self, root: str | Path, max_loaded: int = 4) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_loaded = max_loaded
+        self._lock = threading.RLock()
+        self._loaded: OrderedDict[tuple[str, int], SafeBoundStats] = OrderedDict()
+        self._pins: dict[tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Manifest handling
+    # ------------------------------------------------------------------
+    def _db_dir(self, database: str) -> Path:
+        return self.root / database
+
+    def _manifest_path(self, database: str) -> Path:
+        return self._db_dir(database) / _MANIFEST_NAME
+
+    def _read_entries(self, database: str) -> list[dict]:
+        path = self._manifest_path(database)
+        if not path.exists():
+            return []
+        return json.loads(path.read_text())["versions"]
+
+    def _write_entries(self, database: str, entries: list[dict]) -> None:
+        path = self._manifest_path(database)
+        tmp = path.with_name(path.name + ".incoming")
+        tmp.write_text(json.dumps({"database": database, "versions": entries}, indent=2))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def databases(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                d.name for d in self.root.iterdir() if (d / _MANIFEST_NAME).exists()
+            )
+
+    def versions(self, database: str) -> list[StatsVersion]:
+        with self._lock:
+            return [
+                StatsVersion(database=database, **entry)
+                for entry in self._read_entries(database)
+            ]
+
+    def latest(self, database: str) -> StatsVersion | None:
+        versions = self.versions(database)
+        return versions[-1] if versions else None
+
+    def publish(self, database: str, stats: SafeBoundStats, note: str = "") -> StatsVersion:
+        """Atomically publish ``stats`` as the next version of ``database``."""
+        with self._lock:
+            directory = self._db_dir(database)
+            directory.mkdir(parents=True, exist_ok=True)
+            entries = self._read_entries(database)
+            version = entries[-1]["version"] + 1 if entries else 1
+            filename = f"v{version:06d}.npz"
+            incoming = directory / f"incoming-{filename}"
+            file_bytes = save_stats(stats, str(incoming))
+            os.replace(incoming, directory / filename)
+            entry = {
+                "version": version,
+                "filename": filename,
+                "created_at": time.time(),
+                "file_bytes": file_bytes,
+                "build_seconds": stats.build_seconds,
+                "num_sequences": stats.num_sequences(),
+                "note": note,
+            }
+            self._write_entries(database, entries + [entry])
+            return StatsVersion(database=database, **entry)
+
+    def load(
+        self, database: str, version: int | None = None, fresh: bool = False
+    ) -> SafeBoundStats:
+        """Load a published version (the latest when ``version`` is None),
+        through the bounded loaded-version cache.
+
+        Cached objects are shared — treat them as immutable.  A consumer
+        that intends to *mutate* the statistics (attach update tracking,
+        absorb inserts/deletes) must pass ``fresh=True`` for a private
+        from-disk copy that bypasses the cache entirely; otherwise its
+        mutations would alias into every other reader of that version.
+        """
+        with self._lock:
+            if version is None:
+                latest = self.latest(database)
+                if latest is None:
+                    raise LookupError(f"no published statistics for {database!r}")
+                version = latest.version
+            key = (database, version)
+            if not fresh:
+                cached = self._loaded.get(key)
+                if cached is not None:
+                    self._loaded.move_to_end(key)
+                    return cached
+            entry = next(
+                (e for e in self._read_entries(database) if e["version"] == version),
+                None,
+            )
+            if entry is None:
+                raise LookupError(f"{database!r} has no version {version}")
+            stats = load_stats(str(self._db_dir(database) / entry["filename"]))
+            if not fresh:
+                self._loaded[key] = stats
+                self._evict()
+            return stats
+
+    def pin(self, database: str, version: int) -> SafeBoundStats:
+        """Load and pin a version: pinned versions survive eviction."""
+        with self._lock:
+            stats = self.load(database, version)
+            key = (database, version)
+            self._pins[key] = self._pins.get(key, 0) + 1
+            return stats
+
+    def unpin(self, database: str, version: int) -> None:
+        with self._lock:
+            key = (database, version)
+            count = self._pins.get(key, 0) - 1
+            if count <= 0:
+                self._pins.pop(key, None)
+            else:
+                self._pins[key] = count
+            self._evict()
+
+    def loaded_versions(self) -> list[tuple[str, int]]:
+        with self._lock:
+            return list(self._loaded)
+
+    def _evict(self) -> None:
+        excess = len(self._loaded) - self.max_loaded
+        if excess <= 0:
+            return
+        for key in [k for k in self._loaded if k not in self._pins]:
+            del self._loaded[key]
+            excess -= 1
+            if excess == 0:
+                break
+
+
+class CatalogBackedSafeBound(CardinalityEstimator):
+    """SafeBound served out of a :class:`StatsCatalog`, with hot swap.
+
+    Satisfies the harness's :class:`CardinalityEstimator` protocol:
+    ``build`` runs the offline phase *and publishes* the result, while the
+    online methods delegate to the currently pinned version.  ``refresh``
+    atomically swaps in the latest published version — in-flight estimates
+    finish on the version they started with; later requests see the new
+    one.  Between republish cycles, ``apply_insert``/``apply_delete`` keep
+    the served version valid through the padding machinery in ``core``.
+    """
+
+    name = "SafeBound(catalog)"
+
+    def __init__(
+        self,
+        catalog: StatsCatalog,
+        database: str,
+        config: SafeBoundConfig | None = None,
+    ) -> None:
+        super().__init__()
+        self.catalog = catalog
+        self.database = database
+        self.config = config or SafeBoundConfig()
+        self._lock = threading.Lock()
+        # Serialises whole build/refresh cycles (publish-check, pin, swap,
+        # unpin).  Without it, two concurrent refreshes both pin the new
+        # version and only one pin is ever released, leaking loaded stats.
+        # Separate from ``_lock`` so estimates are never blocked on disk IO.
+        self._swap_lock = threading.Lock()
+        self._safebound: SafeBound | None = None
+        self._version: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int | None:
+        return self._version
+
+    def _current(self) -> SafeBound:
+        with self._lock:
+            if self._safebound is None:
+                raise RuntimeError(
+                    "no statistics loaded: call build(db) or refresh() first"
+                )
+            return self._safebound
+
+    # ------------------------------------------------------------------
+    def build(self, db: Database) -> None:
+        """Offline phase: build, publish to the catalog, and serve.
+
+        The just-built in-memory statistics are served directly; the
+        published archive is byte-identical to them (``save_stats`` is a
+        pure function of the stats), so there is no need to round-trip
+        through disk here — ``refresh`` and cold starts do that.
+        """
+        sb = SafeBound(self.config)
+        sb.build(db)
+        with self._swap_lock:
+            published = self.catalog.publish(self.database, sb.stats, note="build")
+            with self._lock:
+                self._safebound = sb
+                self._version = published.version
+        self.build_seconds = sb.build_seconds
+
+    def refresh(self, db: Database | None = None) -> bool:
+        """Hot-swap to the latest published version, if newer.
+
+        Pass ``db`` to (re-)attach update tracking (the frequency counters
+        are not part of the published archive) — it is attached even when
+        the version is already current, so a trackerless swap done by the
+        server's poll gets repaired by the ingest's own refresh call.
+        Returns True when a swap happened.
+
+        The estimator owns a private from-disk copy of the version it
+        serves (``fresh=True``): it mutates those statistics on every
+        ``apply_insert``/``apply_delete``, which must never alias into the
+        catalog's shared read-only cache.
+        """
+        with self._swap_lock:
+            latest = self.catalog.latest(self.database)
+            if latest is None or latest.version == self._version:
+                self._ensure_tracking(db)
+                return False
+            stats = self.catalog.load(self.database, latest.version, fresh=True)
+            sb = SafeBound(self.config)
+            sb.stats = stats
+            if db is not None:
+                sb.attach_update_tracking(db)
+            with self._lock:
+                self._safebound = sb
+                self._version = latest.version
+            return True
+
+    def _ensure_tracking(self, db: Database | None) -> None:
+        """Attach update tracking to the served stats if it is missing."""
+        if db is None:
+            return
+        with self._lock:
+            sb = self._safebound
+        if sb is None or sb.stats is None:
+            return
+        missing = any(
+            js.incremental is None
+            for rel in sb.stats.relations.values()
+            for js in rel.join_stats.values()
+        )
+        if missing:
+            sb.attach_update_tracking(db)
+
+    # ------------------------------------------------------------------
+    def bound(self, query: Query) -> float:
+        return self._current().bound(query)
+
+    def estimate(self, query: Query) -> float:
+        return self._current().bound(query)
+
+    def estimate_batch(self, queries: list[Query]) -> list[float | None]:
+        return self._current().estimate_batch(queries)
+
+    def apply_insert(self, table: str, rows: dict) -> int:
+        return self._current().apply_insert(table, rows)
+
+    def apply_delete(self, table: str, rows: dict) -> int:
+        return self._current().apply_delete(table, rows)
+
+    def staleness(self) -> float:
+        return self._current().staleness()
+
+    def memory_bytes(self) -> int:
+        with self._lock:
+            return self._safebound.memory_bytes() if self._safebound else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CatalogBackedSafeBound({self.database!r}, "
+            f"version={self._version}, root={str(self.catalog.root)!r})"
+        )

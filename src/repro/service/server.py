@@ -1,0 +1,293 @@
+"""Micro-batching estimation server.
+
+PR 1 made ``SafeBound.estimate_batch`` group queries by skeleton so one
+compiled skeleton and one warm conditioning cache serve a whole batch.
+This server turns that library-level batching into a serving-side win:
+concurrent clients submit single queries onto a bounded queue, a worker
+thread coalesces them into micro-batches (up to ``max_batch`` requests or
+``max_wait_ms`` of extra latency, whichever first), and the whole batch
+flows through ``estimate_batch`` — so requests that share a query shape
+share all compilation and conditioning work.
+
+Admission control is the bounded queue: when it is full, ``submit``
+raises :class:`ServerOverloadedError` instead of growing an unbounded
+backlog.  Between batches the worker polls its estimator for a newer
+catalog version (``refresh``), giving hot statistics swaps without ever
+rejecting or failing a request.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from ..db.query import Query
+from .metrics import ServerMetrics
+
+__all__ = ["ServerOverloadedError", "EstimationServer", "generate_load"]
+
+
+class ServerOverloadedError(RuntimeError):
+    """Admission control: the request queue is full."""
+
+
+@dataclass
+class _Request:
+    query: Query
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+_STOP = object()
+
+
+class EstimationServer:
+    """An in-process, thread-based bound-serving front end.
+
+    ``estimator`` is anything with ``estimate_batch`` (a ``SafeBound``, a
+    ``CatalogBackedSafeBound``, or any harness estimator).  When it also
+    exposes ``refresh()``, the worker calls it between batches every
+    ``refresh_seconds`` — the catalog hot-swap hook.
+    """
+
+    def __init__(
+        self,
+        estimator,
+        *,
+        max_queue: int = 1024,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        refresh_seconds: float = 0.05,
+        refresh_db=None,
+        metrics: ServerMetrics | None = None,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.estimator = estimator
+        self.max_batch = max_batch
+        self.max_wait_seconds = max_wait_ms / 1000.0
+        self.refresh_seconds = refresh_seconds
+        self.refresh_db = refresh_db
+        self.metrics = metrics or ServerMetrics()
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._thread: threading.Thread | None = None
+        self._accepting = False
+        self._last_refresh = time.monotonic()
+        self.last_refresh_error: Exception | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "EstimationServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._accepting = True
+        self._thread = threading.Thread(
+            target=self._run, name="estimation-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Stop accepting, serve everything already queued, and join."""
+        if self._thread is None:
+            return
+        self._accepting = False
+        self._queue.put(_STOP)
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "EstimationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> Future:
+        """Enqueue one query; resolves to its bound.  Raises
+        :class:`ServerOverloadedError` when the queue is full."""
+        if not self._accepting:
+            raise RuntimeError("server is not accepting requests")
+        request = _Request(query)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.metrics.record_rejected()
+            raise ServerOverloadedError(
+                f"request queue full ({self._queue.maxsize} pending)"
+            ) from None
+        self.metrics.record_accepted()
+        return request.future
+
+    def bound(self, query: Query, timeout: float | None = 30.0) -> float:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(query).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        stopping = False
+        while not stopping:
+            head = self._queue.get()
+            if head is _STOP:
+                stopping = True
+            else:
+                stopping = self._collect_and_serve(head)
+            self._maybe_refresh()
+        # Serve the backlog accepted before shutdown began.
+        leftovers: list[_Request] = []
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is not _STOP:
+                leftovers.append(request)
+        for start in range(0, len(leftovers), self.max_batch):
+            self._serve_batch(leftovers[start : start + self.max_batch])
+
+    def _collect_and_serve(self, head: _Request) -> bool:
+        """Coalesce a micro-batch behind ``head``; True means stop seen."""
+        batch = [head]
+        saw_stop = False
+        deadline = time.monotonic() + self.max_wait_seconds
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0:
+                    request = self._queue.get_nowait()
+                else:
+                    request = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if request is _STOP:
+                saw_stop = True
+                break
+            batch.append(request)
+        self._serve_batch(batch)
+        return saw_stop
+
+    def _serve_batch(self, batch: list[_Request]) -> None:
+        # Transition every future to RUNNING; a client that cancelled while
+        # queued is dropped here — and can no longer cancel, so the
+        # set_result/set_exception calls below cannot raise
+        # InvalidStateError and kill the worker thread.
+        batch = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        started = time.perf_counter()
+        for request in batch:
+            self.metrics.queue_latency.record(started - request.enqueued_at)
+        self.metrics.record_batch(len(batch))
+        try:
+            estimates = self.estimator.estimate_batch([r.query for r in batch])
+        except Exception as exc:  # propagate to every waiting client
+            for request in batch:
+                request.future.set_exception(exc)
+            self.metrics.record_failed(len(batch))
+            return
+        finished = time.perf_counter()
+        for request, estimate in zip(batch, estimates):
+            self.metrics.request_latency.record(finished - request.enqueued_at)
+            request.future.set_result(estimate)
+        self.metrics.record_completed(len(batch))
+
+    def _maybe_refresh(self) -> None:
+        refresh = getattr(self.estimator, "refresh", None)
+        if refresh is None:
+            return
+        now = time.monotonic()
+        if now - self._last_refresh < self.refresh_seconds:
+            return
+        self._last_refresh = now
+        # A refresh failure (e.g. transient IO against the catalog) must
+        # never kill the worker thread — keep serving the current version
+        # and retry on the next poll.
+        try:
+            swapped = (
+                refresh(self.refresh_db) if self.refresh_db is not None else refresh()
+            )
+        except Exception as exc:
+            self.last_refresh_error = exc
+            return
+        if swapped:
+            self.metrics.record_swap()
+
+
+def generate_load(
+    server: EstimationServer,
+    queries: list[Query],
+    num_requests: int,
+    concurrency: int = 8,
+    timeout: float = 60.0,
+    retry_rejected: bool = True,
+) -> dict:
+    """Drive ``server`` with ``num_requests`` single-query requests from
+    ``concurrency`` client threads (round-robin over ``queries``).
+
+    Returns wall-clock throughput, the admission-rejection count, the
+    per-request results (index-aligned with the request order; ``None``
+    for a request that failed or was dropped), the per-request errors,
+    and the server's metrics snapshot.  A failed request never kills its
+    client thread — the remaining requests still run.
+    """
+    results: list[float | None] = [None] * num_requests
+    errors: dict[int, Exception] = {}
+    errors_lock = threading.Lock()
+    rejections = [0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client(worker: int) -> None:
+        barrier.wait()
+        for i in range(worker, num_requests, concurrency):
+            try:
+                while True:
+                    try:
+                        future = server.submit(queries[i % len(queries)])
+                        break
+                    except ServerOverloadedError:
+                        rejections[worker] += 1
+                        if not retry_rejected:
+                            future = None
+                            break
+                        time.sleep(0.0005)
+                if future is not None:
+                    results[i] = future.result(timeout)
+            except Exception as exc:
+                with errors_lock:
+                    errors[i] = exc
+
+    threads = [
+        threading.Thread(target=client, args=(w,), daemon=True)
+        for w in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    completed = sum(r is not None for r in results)
+    return {
+        "requests": num_requests,
+        "completed": completed,
+        "concurrency": concurrency,
+        "seconds": elapsed,
+        "qps": completed / elapsed if elapsed > 0 else float("inf"),
+        "rejections": int(sum(rejections)),
+        "errors": {i: repr(exc) for i, exc in sorted(errors.items())},
+        "results": results,
+        "metrics": server.metrics.snapshot(),
+    }

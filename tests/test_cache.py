@@ -1,6 +1,9 @@
-"""LRU cache tests: bounded size, recency-based eviction, counters."""
+"""LRU cache tests: bounded size, recency-based eviction, counters,
+thread safety."""
 
 from __future__ import annotations
+
+import threading
 
 import pytest
 
@@ -66,3 +69,36 @@ class TestLRUCache:
         cache = LRUCache(2)
         with pytest.raises(KeyError):
             cache["nope"]
+
+    def test_concurrent_access(self):
+        """Regression test for sharing one cache across server threads:
+        unsynchronised OrderedDict mutation raises (``move_to_end`` on a
+        concurrently evicted key) or corrupts sizing — hammer get/put/clear
+        from many threads and require clean, bounded behaviour."""
+        cache = LRUCache(16)
+        errors: list[Exception] = []
+        barrier = threading.Barrier(9)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            try:
+                for i in range(3000):
+                    key = (worker_id * 7 + i) % 64
+                    cache[key] = key * 2
+                    got = cache.get(key)
+                    assert got is None or got == key * 2
+                    if i % 500 == 499 and worker_id == 0:
+                        cache.clear()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        for key in list(cache._data):
+            assert cache[key] == key * 2

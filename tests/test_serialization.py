@@ -81,3 +81,101 @@ class TestRoundTrip:
     def test_file_size_metric(self, built):
         size = stats_file_bytes(built.stats)
         assert 0 < size < 10 * 1024 * 1024
+
+
+class TestFacade:
+    """SafeBound.save / SafeBound.load — the satellite facade over
+    core/serialization.py."""
+
+    def test_build_save_load_bound_bit_identical(self, built, tiny_db, tmp_path):
+        path = str(tmp_path / "facade.npz")
+        size = built.save(path)
+        assert size > 0
+        reloaded = SafeBound.load(path, tiny_db, built.config)
+        for q in _queries():
+            assert reloaded.bound(q) == built.bound(q)  # exact, not approx
+        # Update tracking was re-attached from the database.
+        for rel in reloaded.stats.relations.values():
+            for js in rel.join_stats.values():
+                assert js.incremental is not None
+
+    def test_load_without_db_serves_but_cannot_track(self, built, tmp_path):
+        path = str(tmp_path / "facade.npz")
+        built.save(path)
+        reloaded = SafeBound.load(path)
+        for q in _queries():
+            assert reloaded.bound(q) == built.bound(q)
+        for rel in reloaded.stats.relations.values():
+            for js in rel.join_stats.values():
+                assert js.incremental is None
+
+    def test_save_unbuilt_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            SafeBound().save(str(tmp_path / "nope.npz"))
+
+    def test_load_with_pending_inserts_reattaches_soundly(self, tmp_path):
+        """Regression: adopting the (stale) build-time base CDS unpadded
+        after reloading a mid-cycle archive used to underestimate."""
+        import numpy as np
+
+        from repro.db.database import Database
+        from repro.db.schema import Schema
+        from repro.db.table import Table
+
+        rng = np.random.default_rng(8)
+        schema = Schema()
+        schema.add_table("fact", join_columns=["dim_id"], filter_columns=["score"])
+        db = Database(schema)
+        db.add_table(Table("fact", {
+            "id": np.arange(1500),
+            "dim_id": (rng.zipf(1.5, 1500) - 1) % 80,
+            "score": rng.integers(0, 20, 1500),
+        }))
+        sb = SafeBound()
+        sb.build(db)
+        # 500 hot-key rows, mirrored into the database.
+        hot = {
+            "id": np.arange(10000, 10500),
+            "dim_id": np.zeros(500, dtype=np.int64),
+            "score": np.zeros(500, dtype=np.int64),
+        }
+        sb.apply_insert("fact", hot)
+        db.tables["fact"] = Table("fact", {
+            k: np.concatenate((db.table("fact").column(k), hot[k])) for k in hot
+        })
+        path = str(tmp_path / "midcycle.npz")
+        sb.save(path)
+        reloaded = SafeBound.load(path, db)
+        js = reloaded.stats.relations["fact"].join_stats["dim_id"]
+        true_cds = js.incremental.counter.degree_sequence().to_cds()
+        maintained = js.condition(None)
+        grid = np.linspace(0, true_cds.domain_end, 50)
+        assert np.all(maintained(grid) >= true_cds(grid) - 1e-6 * (1 + true_cds(grid)))
+        assert maintained.total >= true_cds.total - 1e-6
+
+    def test_pending_update_state_roundtrips(self, tiny_db, tmp_path):
+        import numpy as np
+
+        sb = SafeBound()
+        sb.build(tiny_db)
+        sb.apply_insert("fact", {
+            "id": np.arange(100000, 100050),
+            "dim_id": np.arange(50) % 300,
+            "score": np.zeros(50, dtype=np.int64),
+            "tag": np.zeros(50, dtype=np.int64),
+        })
+        sb.apply_insert("dim", {
+            "id": np.array([90000]),
+            "year": np.array([1999]),
+            "kind": np.array([0]),
+            "name": np.array(["zeta"], dtype=object),
+        })
+        path = str(tmp_path / "pending.npz")
+        sb.save(path)
+        reloaded = SafeBound.load(path)
+        fact = reloaded.stats.relations["fact"]
+        assert fact.pending_inserts == 50
+        assert fact.stale_dims == {"dim"}
+        assert fact.join_stats["dim_id"].pending_inserts == 50
+        for q in _queries():
+            assert reloaded.bound(q) == sb.bound(q)

@@ -9,7 +9,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.degree_sequence import DegreeSequence
-from repro.core.updates import FrequencyCounter, IncrementalColumnStats
+from repro.core.piecewise import PiecewiseLinear
+from repro.core.safebound import SafeBound, SafeBoundConfig
+from repro.core.updates import FrequencyCounter, IncrementalColumnStats, pad_cds
 
 
 class TestFrequencyCounter:
@@ -114,3 +116,134 @@ class TestIncrementalColumnStats:
         stats = IncrementalColumnStats(np.array([], dtype=np.int64), slack=10.0)
         stats.insert(np.array([7, 7, 8]))
         self._assert_valid(stats)
+
+    def test_adopt_matches_fresh_construction(self):
+        rng = np.random.default_rng(6)
+        values = (rng.zipf(1.5, 1500) - 1) % 120
+        fresh = IncrementalColumnStats(values, accuracy=0.01, slack=0.3)
+        adopted = IncrementalColumnStats.adopt(
+            values, fresh._compressed, accuracy=0.01, slack=0.3
+        )
+        assert adopted.counter.cardinality == fresh.counter.cardinality
+        batch = (rng.zipf(1.5, 100) - 1) % 150
+        fresh.insert(batch)
+        adopted.insert(batch)
+        grid = np.linspace(0, fresh.cds.domain_end, 30)
+        assert np.allclose(adopted.cds(grid), fresh.cds(grid))
+
+
+class TestPadCds:
+    def test_zero_pad_is_identity(self):
+        cds = PiecewiseLinear(np.array([0.0, 3.0]), np.array([0.0, 9.0]))
+        assert pad_cds(cds, 0) is cds
+
+    @given(
+        st.lists(st.integers(0, 15), min_size=1, max_size=60),
+        st.lists(st.integers(0, 20), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_padded_cds_dominates_any_insert_outcome(self, initial, inserts):
+        """pad_cds(F, k) must dominate the true CDS after ANY k-row insert."""
+        base = DegreeSequence.from_column(np.array(initial)).to_cds()
+        padded = pad_cds(base, len(inserts))
+        after = DegreeSequence.from_column(np.array(initial + inserts)).to_cds()
+        grid = np.linspace(0, after.domain_end, 50)
+        assert np.all(padded(grid) >= after(grid) - 1e-6 * (1 + after(grid)))
+        assert padded.total >= after.total - 1e-6
+
+
+class TestSafeBoundApplyPath:
+    """The satellite coverage: randomized insert/delete streams through
+    SafeBound.apply_insert / apply_delete keep every compressed CDS
+    dominating the true CDS, and recompression fires at the threshold."""
+
+    def _build(self, slack_db_seed: int = 17):
+        from repro.db.database import Database
+        from repro.db.schema import Schema
+        from repro.db.table import Table
+
+        rng = np.random.default_rng(slack_db_seed)
+        schema = Schema()
+        schema.add_table("fact", join_columns=["dim_id"], filter_columns=["score"])
+        db = Database(schema)
+        db.add_table(Table("fact", {
+            "id": np.arange(2000),
+            "dim_id": (rng.zipf(1.5, 2000) - 1) % 150,
+            "score": rng.integers(0, 25, 2000),
+        }))
+        sb = SafeBound(SafeBoundConfig(track_updates=True))
+        sb.build(db)
+        return sb, rng
+
+    def _assert_stats_valid(self, sb: SafeBound) -> None:
+        for rel in sb.stats.relations.values():
+            for js in rel.join_stats.values():
+                true_cds = js.incremental.counter.degree_sequence().to_cds()
+                maintained = js.condition(None)
+                grid = np.linspace(0, true_cds.domain_end, 40)
+                assert np.all(
+                    maintained(grid) >= true_cds(grid) - 1e-6 * (1 + true_cds(grid))
+                )
+                assert maintained.total >= true_cds.total - 1e-6
+                # The padded *base* path (what a conditioned lookup pads the
+                # same way) must dominate too.
+                padded_base = pad_cds(js.base, js.pending_inserts)
+                assert np.all(
+                    padded_base(grid) >= true_cds(grid) - 1e-6 * (1 + true_cds(grid))
+                )
+
+    def test_randomized_stream_keeps_cds_dominating(self):
+        sb, rng = self._build()
+        live = sb.stats.relations["fact"].join_stats["dim_id"]
+        values = list(live.incremental.counter.counts.elements())
+        next_id = 100000
+        for step in range(12):
+            if rng.random() < 0.6 or len(values) < 300:
+                n = int(rng.integers(40, 150))
+                batch = ((rng.zipf(1.5, n) - 1) % 200).astype(np.int64)
+                sb.apply_insert("fact", {
+                    "id": np.arange(next_id, next_id + n),
+                    "dim_id": batch,
+                    "score": rng.integers(0, 25, n),
+                })
+                next_id += n
+                values += batch.tolist()
+            else:
+                n = int(rng.integers(20, 80))
+                idx = rng.choice(len(values), n, replace=False)
+                batch = np.array([values[i] for i in idx], dtype=np.int64)
+                for i in sorted(idx.tolist(), reverse=True):
+                    values.pop(i)
+                sb.apply_delete("fact", {
+                    "id": np.zeros(n, dtype=np.int64),
+                    "dim_id": batch,
+                    "score": np.zeros(n, dtype=np.int64),
+                })
+            self._assert_stats_valid(sb)
+
+    def test_maybe_recompress_fires_at_threshold(self):
+        sb, rng = self._build()
+        js = sb.stats.relations["fact"].join_stats["dim_id"]
+        js.incremental.slack = 0.05
+        assert js.incremental.recompressions == 0
+        n = 300  # 15% of 2000 rows: far past the 5% slack
+        sb.apply_insert("fact", {
+            "id": np.arange(50000, 50000 + n),
+            "dim_id": (rng.zipf(1.5, n) - 1) % 200,
+            "score": rng.integers(0, 25, n),
+        })
+        assert js.incremental.recompressions >= 1
+        self._assert_stats_valid(sb)
+
+    def test_huge_slack_pads_only(self):
+        sb, rng = self._build()
+        js = sb.stats.relations["fact"].join_stats["dim_id"]
+        js.incremental.slack = 10.0
+        sb.apply_insert("fact", {
+            "id": np.arange(60000, 60100),
+            "dim_id": rng.integers(0, 150, 100),
+            "score": rng.integers(0, 25, 100),
+        })
+        assert js.incremental.recompressions == 0
+        assert js.pending_inserts == 100
+        self._assert_stats_valid(sb)
