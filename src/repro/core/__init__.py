@@ -21,9 +21,11 @@ from .piecewise import (
     pointwise_min,
     pointwise_sum,
 )
+from .piecewise import concave_max
 from .predicates import And, Eq, InList, Like, Or, Predicate, Range
 from .safebound import SafeBound, SafeBoundConfig
-from .serialization import load_stats, save_stats, stats_file_bytes
+from .serialization import load_stats, save_stats, stats_digest, stats_file_bytes
+from .stats_builder import ParallelBuildPlan, build_statistics
 from .updates import FrequencyCounter, IncrementalColumnStats, pad_cds
 
 __all__ = [
@@ -46,9 +48,12 @@ __all__ = [
     "PiecewiseConstant",
     "PiecewiseLinear",
     "concave_envelope",
+    "concave_max",
     "pointwise_min",
     "pointwise_max",
     "pointwise_sum",
+    "ParallelBuildPlan",
+    "build_statistics",
     "Predicate",
     "Eq",
     "Range",
@@ -58,6 +63,7 @@ __all__ = [
     "Or",
     "save_stats",
     "load_stats",
+    "stats_digest",
     "stats_file_bytes",
     "FrequencyCounter",
     "IncrementalColumnStats",

@@ -17,10 +17,11 @@ from scipy.cluster.hierarchy import fcluster, linkage
 from scipy.spatial.distance import squareform
 
 from .compression import self_join_bound
-from .piecewise import PiecewiseLinear, concave_envelope, pointwise_max
+from .piecewise import PiecewiseLinear, concave_max
 
 __all__ = [
     "self_join_distance",
+    "pairwise_sj_distance_matrix",
     "cluster_cds",
     "group_maxima",
 ]
@@ -62,6 +63,124 @@ def self_join_distance(f1: PiecewiseLinear, f2: PiecewiseLinear) -> float:
     return _distance_from_sj(sj_max, self_join_bound(f1), self_join_bound(f2))
 
 
+def _interp_at(
+    X: np.ndarray, Y: np.ndarray, Q: np.ndarray, idx: np.ndarray, m: int
+) -> np.ndarray:
+    """Row-wise linear interpolation of ``(X, Y)`` at ``Q`` given
+    ``idx[b, k] = #{x in X[b] : x < or <= Q[b, k]}`` (either side works:
+    at an exact breakpoint both give the breakpoint's value)."""
+    lo = np.clip(idx - 1, 0, m - 1)
+    hi = np.clip(idx, 0, m - 1)
+    x0 = np.take_along_axis(X, lo, axis=1)
+    x1 = np.take_along_axis(X, hi, axis=1)
+    y0 = np.take_along_axis(Y, lo, axis=1)
+    y1 = np.take_along_axis(Y, hi, axis=1)
+    dx = x1 - x0
+    t = np.where(dx > 0, (Q - x0) / np.where(dx > 0, dx, 1.0), 0.0)
+    return y0 + t * (y1 - y0)
+
+
+def _pad_breakpoints(cds_list: list[PiecewiseLinear]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack all breakpoint arrays into matrices, padding each row by
+    repeating its last breakpoint (a flat extension, matching how a CDS is
+    constant past its domain end)."""
+    m = max(len(f.xs) for f in cds_list)
+    X = np.empty((len(cds_list), m))
+    Y = np.empty((len(cds_list), m))
+    for b, f in enumerate(cds_list):
+        k = len(f.xs)
+        X[b, :k], Y[b, :k] = f.xs, f.ys
+        X[b, k:], Y[b, k:] = f.xs[-1], f.ys[-1]
+    return X, Y
+
+
+def _sj_of_max_rows(
+    G: np.ndarray, V1: np.ndarray, V2: np.ndarray
+) -> np.ndarray:
+    """Self-join bound of ``max(F1_b, F2_b)`` per row, given both functions
+    sampled on a shared per-row grid ``G[b]`` that refines both breakpoint
+    sets (so each is linear within every cell; crossings are solved
+    per cell in closed form)."""
+    g0, g1 = G[:, :-1], G[:, 1:]
+    dx = g1 - g0
+    live = dx > 0
+    safe_dx = np.where(live, dx, 1.0)
+    d0 = V1[:, :-1] - V2[:, :-1]
+    d1 = V1[:, 1:] - V2[:, 1:]
+    m0 = np.maximum(V1[:, :-1], V2[:, :-1])
+    m1 = np.maximum(V1[:, 1:], V2[:, 1:])
+    # Plain cells: the max is one of the two (linear) functions throughout.
+    plain = np.where(live, (m1 - m0) ** 2 / safe_dx, 0.0)
+    crossing = (d0 * d1 < 0) & live
+    if not crossing.any():
+        return plain.sum(axis=1)
+    # Crossing cells split at xc where the difference hits zero; both
+    # functions agree there, and the value follows F1's cell line.
+    denom = np.where(crossing, d0 - d1, 1.0)
+    frac = np.where(crossing, d0 / denom, 0.0)
+    xc = g0 + dx * frac
+    vc = V1[:, :-1] + (V1[:, 1:] - V1[:, :-1]) * frac
+    left = xc - g0
+    right = g1 - xc
+    split = (
+        np.where(left > 0, (vc - m0) ** 2 / np.where(left > 0, left, 1.0), 0.0)
+        + np.where(right > 0, (m1 - vc) ** 2 / np.where(right > 0, right, 1.0), 0.0)
+    )
+    return np.where(crossing, split, plain).sum(axis=1)
+
+
+def pairwise_sj_distance_matrix(
+    cds_list: list[PiecewiseLinear], chunk_pairs: int = 4096
+) -> np.ndarray:
+    """The full symmetric :func:`self_join_distance` matrix, vectorised.
+
+    Equivalent to calling ``self_join_distance`` on every pair (up to
+    floating-point reassociation) but orders of magnitude faster for the
+    family sizes group compression feeds it: all pairs run through one
+    batched merge-grid/interp/integration pass (chunked to bound memory at
+    roughly ``chunk_pairs * max_breakpoints`` floats per intermediate).
+    """
+    n = len(cds_list)
+    dist = np.zeros((n, n))
+    if n < 2:
+        return dist
+    sj = np.array([self_join_bound(f) for f in cds_list])
+    X, Y = _pad_breakpoints(cds_list)
+    m = X.shape[1]
+    iu, ju = np.triu_indices(n, k=1)
+    span = np.arange(1, 2 * m + 1)
+    for start in range(0, len(iu), chunk_pairs):
+        I = iu[start : start + chunk_pairs]
+        J = ju[start : start + chunk_pairs]
+        XI, YI, XJ, YJ = X[I], Y[I], X[J], Y[J]
+        # One stable argsort yields the merged grid AND, via provenance
+        # counts, the searchsorted indices of every grid point into both
+        # breakpoint sets — no further sorting or interp calls needed.
+        C = np.concatenate((XI, XJ), axis=1)
+        order = np.argsort(C, axis=1, kind="stable")
+        G = np.take_along_axis(C, order, axis=1)
+        idx_j = np.cumsum(order >= m, axis=1)
+        idx_i = span - idx_j
+        Vi = _interp_at(XI, YI, G, idx_i, m)
+        Vj = _interp_at(XJ, YJ, G, idx_j, m)
+        sj_max = _sj_of_max_rows(G, Vi, Vj)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            di = np.where(
+                sj[I] > 0,
+                sj_max / np.where(sj[I] > 0, sj[I], 1.0) - 1.0,
+                (sj_max > 0).astype(float),
+            )
+            dj = np.where(
+                sj[J] > 0,
+                sj_max / np.where(sj[J] > 0, sj[J], 1.0) - 1.0,
+                (sj_max > 0).astype(float),
+            )
+        row = np.maximum(di + dj, 0.0)
+        dist[I, J] = row
+        dist[J, I] = row
+    return dist
+
+
 def cluster_cds(
     cds_list: list[PiecewiseLinear],
     num_clusters: int,
@@ -87,15 +206,7 @@ def cluster_cds(
         return labels
     if method not in ("complete", "single"):
         raise ValueError(f"unknown clustering method: {method!r}")
-    sj = [self_join_bound(f) for f in cds_list]
-    arrays = [(f.xs, f.ys) for f in cds_list]
-    dist = np.zeros((n, n))
-    for i in range(n):
-        xs1, ys1 = arrays[i]
-        for j in range(i + 1, n):
-            xs2, ys2 = arrays[j]
-            sj_max = _sj_of_max(xs1, ys1, xs2, ys2)
-            dist[i, j] = dist[j, i] = _distance_from_sj(sj_max, sj[i], sj[j])
+    dist = pairwise_sj_distance_matrix(cds_list)
     condensed = squareform(dist, checks=False)
     tree = linkage(condensed, method=method)
     labels = fcluster(tree, t=num_clusters, criterion="maxclust") - 1
@@ -115,7 +226,9 @@ def group_maxima(
     out = np.empty(len(labels), dtype=int)
     for label in np.unique(labels):
         members = [cds_list[i] for i in np.flatnonzero(labels == label)]
-        rep = concave_envelope(pointwise_max(members))
+        # Members are concave CDSs, so the crossing-free concave max equals
+        # the envelope of their exact pointwise max.
+        rep = concave_max(members)
         remap[int(label)] = len(reps)
         reps.append(rep)
     for i, label in enumerate(labels):

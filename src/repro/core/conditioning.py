@@ -45,6 +45,7 @@ __all__ = [
     "FilterColumnStats",
     "JoinColumnStats",
     "build_join_column_stats",
+    "equi_depth_boundaries",
     "pair_group_sequences",
     "max_cds_over_groups",
 ]
@@ -60,7 +61,9 @@ def _canonical_value(value):
     if isinstance(value, bool):
         return value
     if isinstance(value, (int, float)):
-        return float(value)
+        # + 0.0 folds -0.0 into +0.0 so the repr-hashed Bloom filters see
+        # one canonical zero (0.0 == -0.0 but repr differs).
+        return float(value) + 0.0
     return value
 
 
@@ -97,7 +100,9 @@ def _factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return codes, uniques
 
 
-def pair_group_sequences(group_codes: np.ndarray, join_values: np.ndarray):
+def pair_group_sequences(
+    group_codes: np.ndarray, join_values: np.ndarray, weights: np.ndarray | None = None
+):
     """Per-group conditioned degree-sequence data, fully vectorised.
 
     Returns ``(codes, counts, ranks, cumsums)`` where each entry describes
@@ -105,6 +110,13 @@ def pair_group_sequences(group_codes: np.ndarray, join_values: np.ndarray):
     1-based rank within the group in descending frequency order, and the
     running frequency sum within the group (i.e. the group's CDS sampled at
     that rank).
+
+    ``weights`` gives each input row an integer multiplicity (default 1):
+    passing rows pre-deduplicated to distinct (group, join value) pairs with
+    their occurrence counts yields bit-identical results to passing the
+    expanded rows, because every downstream quantity is a function of the
+    row *multiset* — this is what lets the sharded parallel build feed
+    merged pair counters through the exact serial code path.
     """
     if not len(group_codes):
         empty = np.array([], dtype=np.int64)
@@ -115,7 +127,12 @@ def pair_group_sequences(group_codes: np.ndarray, join_values: np.ndarray):
     new_pair = np.concatenate(([True], (g[1:] != g[:-1]) | (v[1:] != v[:-1])))
     starts = np.flatnonzero(new_pair)
     pair_group = g[starts]
-    pair_count = np.diff(np.concatenate((starts, [len(g)])))
+    if weights is None:
+        pair_count = np.diff(np.concatenate((starts, [len(g)])))
+    else:
+        cum = np.concatenate(([0], np.cumsum(np.asarray(weights, dtype=np.int64)[order])))
+        ends = np.concatenate((starts[1:], [len(g)]))
+        pair_count = cum[ends] - cum[starts]
     # Sort pairs by (group, count desc) to get within-group ranks.
     order2 = np.lexsort((-pair_count, pair_group))
     pg = pair_group[order2]
@@ -192,9 +209,9 @@ class EqualityStats:
                 return positive[0]
             # Several groups match (false positives included): any of them
             # might hold the value, so take the max — still a sound bound.
-            from .piecewise import pointwise_max
+            from .piecewise import concave_max
 
-            return concave_envelope(pointwise_max(positive))
+            return concave_max(positive)
         group = (self.value_to_group or {}).get(value)
         if group is None:
             return self.default_cds
@@ -211,10 +228,13 @@ class EqualityStats:
 
 
 def _build_equality_stats(
-    filter_values: np.ndarray, join_values: np.ndarray, config: ConditioningConfig
+    filter_values: np.ndarray,
+    join_values: np.ndarray,
+    config: ConditioningConfig,
+    weights: np.ndarray | None = None,
 ) -> EqualityStats:
     codes, uniques = _factorize(filter_values)
-    pg, pc, ranks, cumsums = pair_group_sequences(codes, join_values)
+    pg, pc, ranks, cumsums = pair_group_sequences(codes, join_values, weights)
     group_totals = np.zeros(len(uniques))
     np.add.at(group_totals, pg, pc.astype(float))
     mcv_count = min(config.mcv_size, len(uniques))
@@ -312,16 +332,17 @@ class HistogramStats:
         return total
 
 
-def _build_histogram_stats(
-    filter_values: np.ndarray,
-    join_values: np.ndarray,
-    base: PiecewiseLinear,
-    config: ConditioningConfig,
-) -> HistogramStats:
-    levels = config.histogram_levels
+def equi_depth_boundaries(
+    values: np.ndarray, histogram_levels: int
+) -> tuple[np.ndarray, int]:
+    """Finest-level bucket edges plus the effective level count for the
+    hierarchical equi-depth histogram of ``values``.  A pure function of
+    the value multiset, shared by every join column of a table — the
+    parallel build computes it once per filter column."""
+    levels = histogram_levels
     num_fine = 2**levels
     quantiles = np.linspace(0, 1, num_fine + 1)
-    boundaries = np.quantile(filter_values.astype(float), quantiles)
+    boundaries = np.quantile(values.astype(float), quantiles)
     boundaries = np.unique(boundaries)
     if len(boundaries) < 2:
         boundaries = np.array([boundaries[0], boundaries[0] + 1.0])
@@ -332,6 +353,24 @@ def _build_histogram_stats(
     # Evenly re-space to exactly 2^levels buckets.
     idx = np.round(np.linspace(0, eff_fine, num_fine + 1)).astype(int)
     boundaries = boundaries[np.unique(idx)]
+    return boundaries, levels
+
+
+def _build_histogram_stats(
+    filter_values: np.ndarray,
+    join_values: np.ndarray,
+    base: PiecewiseLinear,
+    config: ConditioningConfig,
+    weights: np.ndarray | None = None,
+    boundary_info: tuple[np.ndarray, int] | None = None,
+) -> HistogramStats:
+    """``boundary_info`` supplies precomputed ``equi_depth_boundaries``
+    output (from the full column multiset) when ``filter_values`` holds
+    deduplicated pairs; by default boundaries derive from ``filter_values``
+    itself."""
+    if boundary_info is None:
+        boundary_info = equi_depth_boundaries(filter_values, config.histogram_levels)
+    boundaries, levels = boundary_info
     num_fine = len(boundaries) - 1
 
     fine_codes = np.clip(
@@ -344,7 +383,7 @@ def _build_histogram_stats(
     for level in range(levels, 0, -1):
         shift = levels - level
         codes = fine_codes >> shift
-        pg, pc, _, _ = pair_group_sequences(codes, join_values)
+        pg, pc, _, _ = pair_group_sequences(codes, join_values, weights)
         for bucket in np.unique(pg):
             freqs = pc[pg == bucket]
             sequences.append(_cds_of_frequencies(freqs, config))
@@ -385,35 +424,74 @@ def _build_trigram_stats(
     join_values: np.ndarray,
     base: PiecewiseLinear,
     config: ConditioningConfig,
+    weights: np.ndarray | None = None,
 ) -> TrigramStats:
-    gram_counts: dict[str, int] = {}
-    row_grams: list[set[str]] = []
-    for value in filter_values.tolist():
-        grams = set(trigrams(value)) if isinstance(value, str) else set()
-        row_grams.append(grams)
-        for g in grams:
-            gram_counts[g] = gram_counts.get(g, 0) + 1
+    if weights is None:
+        gram_counts: dict[str, int] = {}
+        row_grams: list[set[str]] = []
+        for value in filter_values.tolist():
+            grams = set(trigrams(value)) if isinstance(value, str) else set()
+            row_grams.append(grams)
+            for g in grams:
+                gram_counts[g] = gram_counts.get(g, 0) + 1
+    else:
+        # Deduplicated path: extract 3-grams once per *distinct* string and
+        # weight by its row multiplicity — identical counts, because every
+        # row with the same value contributes the same gram set.
+        codes, uniques = _factorize(filter_values)
+        mult = np.zeros(len(uniques), dtype=np.int64)
+        np.add.at(mult, codes, np.asarray(weights, dtype=np.int64))
+        value_grams = [
+            set(trigrams(v)) if isinstance(v, str) else set() for v in uniques.tolist()
+        ]
+        gram_counts = {}
+        for grams, m in zip(value_grams, mult.tolist()):
+            for g in grams:
+                gram_counts[g] = gram_counts.get(g, 0) + m
     top = sorted(gram_counts, key=lambda g: (-gram_counts[g], g))[
         : config.trigram_mcv_size
     ]
     top_set = set(top)
-    gram_rows: dict[str, list[int]] = {g: [] for g in top}
-    no_gram_rows: list[int] = []
-    for i, grams in enumerate(row_grams):
-        common = grams & top_set
-        if not common:
-            no_gram_rows.append(i)
-        for g in common:
-            gram_rows[g].append(i)
     sequences = []
-    for g in top:
-        ds = DegreeSequence.from_column(join_values[np.array(gram_rows[g], dtype=int)])
-        sequences.append(valid_compress(ds, config.compression_accuracy))
-    if no_gram_rows:
-        ds = DegreeSequence.from_column(join_values[np.array(no_gram_rows, dtype=int)])
-        no_common = valid_compress(ds, config.compression_accuracy)
+    if weights is None:
+        gram_rows: dict[str, list[int]] = {g: [] for g in top}
+        no_gram_rows: list[int] = []
+        for i, grams in enumerate(row_grams):
+            common = grams & top_set
+            if not common:
+                no_gram_rows.append(i)
+            for g in common:
+                gram_rows[g].append(i)
+        for g in top:
+            ds = DegreeSequence.from_column(
+                join_values[np.array(gram_rows[g], dtype=int)]
+            )
+            sequences.append(valid_compress(ds, config.compression_accuracy))
+        if no_gram_rows:
+            ds = DegreeSequence.from_column(join_values[np.array(no_gram_rows, dtype=int)])
+            no_common = valid_compress(ds, config.compression_accuracy)
+        else:
+            no_common = PiecewiseLinear.zero()
     else:
-        no_common = PiecewiseLinear.zero()
+        w = np.asarray(weights, dtype=np.int64)
+        # Per-distinct-value membership matrix: one fancy-index per gram
+        # instead of an isin scan over all pairs per gram.
+        top_index = {g: gi for gi, g in enumerate(top)}
+        has_gram = np.zeros((len(uniques), len(top)), dtype=bool)
+        for ui, grams in enumerate(value_grams):
+            for g in grams & top_set:
+                has_gram[ui, top_index[g]] = True
+        pair_has = has_gram[codes]
+        for gi in range(len(top)):
+            mask = pair_has[:, gi]
+            ds = DegreeSequence.from_column(np.repeat(join_values[mask], w[mask]))
+            sequences.append(valid_compress(ds, config.compression_accuracy))
+        mask = ~pair_has.any(axis=1) if len(top) else np.ones(len(codes), dtype=bool)
+        if mask.any():
+            ds = DegreeSequence.from_column(np.repeat(join_values[mask], w[mask]))
+            no_common = valid_compress(ds, config.compression_accuracy)
+        else:
+            no_common = PiecewiseLinear.zero()
     reps, labels = _compress_group(sequences, config)
     gram_to_group = {g: int(l) for g, l in zip(top, labels)}
     return TrigramStats(reps, gram_to_group, no_common, base)

@@ -26,6 +26,7 @@ __all__ = [
     "PiecewiseConstant",
     "PiecewiseLinear",
     "concave_envelope",
+    "concave_max",
     "pointwise_min",
     "pointwise_max",
     "pointwise_sum",
@@ -461,6 +462,26 @@ def pointwise_max(funcs: list[PiecewiseLinear]) -> PiecewiseLinear:
     # which is exactly the CDS of the underlying (finished) sequence.
     ys = np.max(np.vstack([f(grid) for f in funcs]), axis=0)
     return PiecewiseLinear(grid, ys)
+
+
+def concave_max(funcs: list[PiecewiseLinear]) -> PiecewiseLinear:
+    """The least concave majorant of the pointwise max of *concave* inputs.
+
+    Equals ``concave_envelope(pointwise_max(funcs))`` but needs no crossing
+    points: between consecutive union-grid points every input is linear, so
+    their max is convex there and lies below the chord through the cell
+    endpoints — the upper concave hull of the endpoint samples already
+    dominates it.  This is the hot path of group compression (every cluster
+    representative is a max of concave CDSs).
+    """
+    if not funcs:
+        raise ValueError("need at least one function")
+    if len(funcs) == 1:
+        return concave_envelope(funcs[0])
+    end = max(f.domain_end for f in funcs)
+    grid = _combined_grid(funcs, end)
+    ys = np.max(np.vstack([f(grid) for f in funcs]), axis=0)
+    return concave_envelope(PiecewiseLinear(grid, ys))
 
 
 def pointwise_sum(funcs: list[PiecewiseLinear]) -> PiecewiseLinear:

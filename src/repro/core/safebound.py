@@ -36,6 +36,16 @@ class SafeBoundConfig:
     # apply_insert/apply_delete can maintain the statistics between
     # recompress-and-republish cycles (see core/updates.py).
     track_updates: bool = False
+    # Offline-build parallelism (see core.stats_builder.ParallelBuildPlan).
+    # ``build_workers > 1`` shards every table's rows and builds partial
+    # statistics in a worker pool; the result is bit-identical to the
+    # serial build.  The pool defaults to threads because SafeBound.build
+    # also runs inside serving processes (RepublishWorker), where forking
+    # a multithreaded server is unsafe; offline tools that want full
+    # multi-core scaling should set ``build_pool="process"``.
+    build_workers: int = 0
+    build_shard_rows: int | None = None
+    build_pool: str = "thread"
 
 
 def _rewrite_predicate(
@@ -159,6 +169,9 @@ class SafeBound:
             precompute_pk_joins=self.config.precompute_pk_joins,
             build_trigrams=self.config.build_trigrams,
             track_updates=self.config.track_updates,
+            num_workers=self.config.build_workers,
+            shard_rows=self.config.build_shard_rows,
+            pool=self.config.build_pool,
         )
         self._db = db
         self._invalidate_conditioning()

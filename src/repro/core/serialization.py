@@ -10,6 +10,7 @@ and safe to load.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 
@@ -26,7 +27,13 @@ from .conditioning import (
 from .piecewise import PiecewiseLinear
 from .stats_builder import RelationStats, SafeBoundStats
 
-__all__ = ["save_stats", "load_stats", "stats_file_bytes"]
+__all__ = [
+    "save_stats",
+    "save_stats_with_digest",
+    "load_stats",
+    "stats_file_bytes",
+    "stats_digest",
+]
 
 
 class _Archive:
@@ -144,8 +151,7 @@ def _load_trigram(manifest: dict, ar: _Archive) -> TrigramStats:
     )
 
 
-def save_stats(stats: SafeBoundStats, path: str) -> int:
-    """Serialise the statistics store; returns the file size in bytes."""
+def _build_archive(stats: SafeBoundStats) -> tuple[_Archive, dict]:
     ar = _Archive()
     manifest: dict = {"build_seconds": stats.build_seconds, "relations": {}}
     for name, rel in stats.relations.items():
@@ -176,12 +182,57 @@ def save_stats(stats: SafeBoundStats, path: str) -> int:
                 "pending_inserts": js.pending_inserts,
             }
         manifest["relations"][name] = rel_manifest
+    return ar, manifest
+
+
+def _digest_archive(ar: _Archive, manifest: dict) -> str:
+    zeroed = dict(manifest)
+    zeroed["build_seconds"] = 0.0
+    h = hashlib.sha256()
+    h.update(json.dumps(zeroed, sort_keys=False).encode())
+    for key in ar.arrays:
+        h.update(key.encode())
+        array = np.ascontiguousarray(ar.arrays[key])
+        h.update(str(array.dtype).encode())
+        h.update(array.tobytes())
+    return h.hexdigest()
+
+
+def _write_archive(ar: _Archive, manifest: dict, path: str) -> int:
     ar.arrays["__manifest__"] = np.frombuffer(
         json.dumps(manifest).encode(), dtype=np.uint8
     ).copy()
     np.savez_compressed(path, **ar.arrays)
     real_path = path if path.endswith(".npz") else path + ".npz"
     return os.path.getsize(real_path)
+
+
+def save_stats(stats: SafeBoundStats, path: str) -> int:
+    """Serialise the statistics store; returns the file size in bytes."""
+    ar, manifest = _build_archive(stats)
+    return _write_archive(ar, manifest, path)
+
+
+def save_stats_with_digest(stats: SafeBoundStats, path: str) -> tuple[int, str]:
+    """Serialise and digest in one archive-construction pass — for
+    publishers that want both without paying serialization twice."""
+    ar, manifest = _build_archive(stats)
+    digest = _digest_archive(ar, manifest)
+    return _write_archive(ar, manifest, path), digest
+
+
+def stats_digest(stats: SafeBoundStats) -> str:
+    """A SHA-256 over the full serialised content of the statistics.
+
+    Hashes exactly what :func:`save_stats` would write — every array's raw
+    bytes plus the structural manifest — except ``build_seconds``, which is
+    wall-clock noise, so two builds of equal statistics digest equally no
+    matter how long they took or how they were parallelised.  This is the
+    bit-identity witness for the sharded parallel build, and it is recorded
+    in catalog manifests for provenance.
+    """
+    ar, manifest = _build_archive(stats)
+    return _digest_archive(ar, manifest)
 
 
 def load_stats(path: str) -> SafeBoundStats:

@@ -14,7 +14,14 @@ cross-join correlation assumption.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,12 +29,30 @@ import numpy as np
 from ..db.database import Database
 from ..db.table import Table
 from .compression import valid_compress
-from .conditioning import ConditioningConfig, JoinColumnStats, build_join_column_stats
+from .conditioning import (
+    ConditioningConfig,
+    JoinColumnStats,
+    build_join_column_stats,
+    equi_depth_boundaries,
+)
 from .degree_sequence import DegreeSequence
+from .partial_stats import (
+    TableShardPartial,
+    extract_shard_partial,
+    finalize_fallback_cds,
+    finalize_join_column,
+    merge_shard_partials,
+)
 from .piecewise import PiecewiseLinear
 from .updates import IncrementalColumnStats, pad_cds
 
-__all__ = ["RelationStats", "SafeBoundStats", "build_statistics", "virtual_column_name"]
+__all__ = [
+    "RelationStats",
+    "SafeBoundStats",
+    "ParallelBuildPlan",
+    "build_statistics",
+    "virtual_column_name",
+]
 
 
 def virtual_column_name(fk_column: str, dim_table: str, dim_column: str) -> str:
@@ -211,20 +236,143 @@ class SafeBoundStats:
         return max(rel.padding_overhead() for rel in self.relations.values())
 
 
+@dataclass(frozen=True)
+class ParallelBuildPlan:
+    """How the offline phase is distributed over a worker pool.
+
+    ``num_workers <= 1`` means the serial reference build.  ``shard_rows``
+    is the row-shard size (``None`` derives roughly two shards per worker,
+    floored so tiny tables stay single-shard).  ``pool`` selects
+    process-based workers (true parallelism, the default) or thread-based
+    workers (cheaper startup, useful when the build is dominated by
+    GIL-releasing numpy kernels or the data is too large to pickle).
+
+    Shard geometry never changes the output: partials merge into the same
+    counters for any split, so the built statistics are bit-identical to a
+    serial build regardless of ``num_workers``/``shard_rows``.
+    """
+
+    num_workers: int = 0
+    shard_rows: int | None = None
+    pool: str = "process"
+
+    MIN_SHARD_ROWS = 1024
+
+    def __post_init__(self) -> None:
+        if self.pool not in ("process", "thread"):
+            raise ValueError(f"unknown pool kind: {self.pool!r}")
+
+    @property
+    def parallel(self) -> bool:
+        return self.num_workers > 1
+
+    def effective_shard_rows(self, num_rows: int) -> int:
+        if self.shard_rows is not None:
+            return max(int(self.shard_rows), 1)
+        per_worker = -(-num_rows // max(2 * self.num_workers, 1))
+        return max(per_worker, self.MIN_SHARD_ROWS)
+
+    def shards(self, num_rows: int) -> list[tuple[int, int]]:
+        """Half-open row ranges covering ``[0, num_rows)`` (one empty shard
+        for an empty table, so every table still produces a partial)."""
+        if num_rows <= 0:
+            return [(0, 0)]
+        size = self.effective_shard_rows(num_rows)
+        return [(lo, min(lo + size, num_rows)) for lo in range(0, num_rows, size)]
+
+    def make_executor(self) -> Executor:
+        if self.pool == "thread":
+            return ThreadPoolExecutor(max_workers=self.num_workers)
+        ctx = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=self.num_workers, mp_context=ctx)
+
+
+def _collect_filter_columns(
+    db: Database,
+    name: str,
+    table: Table,
+    rel: RelationStats,
+    precompute_pk_joins: bool,
+    build_trigrams: bool,
+) -> dict[str, np.ndarray]:
+    """The filter-column arrays of one table, virtual PK-FK columns
+    included (registered on ``rel``).  Shared by the serial and parallel
+    paths so both condition on exactly the same values."""
+    tschema = db.schema.tables[name]
+    filter_columns: dict[str, np.ndarray] = {}
+    for fcol in tschema.filter_columns:
+        values = table.column(fcol)
+        if values.dtype == object and not build_trigrams:
+            # Scalability ablation (Fig 10): keep equality stats only by
+            # replacing strings with their hash codes.
+            values = np.array([hash(v) for v in values.tolist()])
+        filter_columns[fcol] = _normalize_zeros(values)
+
+    if precompute_pk_joins:
+        for fk in db.schema.foreign_keys_of(name):
+            if fk.ref_table not in db:
+                continue
+            dim_schema = db.schema.tables.get(fk.ref_table)
+            dim_table = db.table(fk.ref_table)
+            if dim_schema is None:
+                continue
+            for dcol in dim_schema.filter_columns:
+                vname = virtual_column_name(fk.column, fk.ref_table, dcol)
+                values = _pull_dimension_column(
+                    table.column(fk.column),
+                    dim_table.column(fk.ref_column),
+                    dim_table.column(dcol),
+                )
+                if values.dtype == object and not build_trigrams:
+                    values = np.array([hash(v) for v in values.tolist()])
+                filter_columns[vname] = _normalize_zeros(values)
+                rel.virtual_columns[(fk.column, fk.ref_table, fk.ref_column, dcol)] = vname
+    return filter_columns
+
+
+def _normalize_zeros(values: np.ndarray) -> np.ndarray:
+    """Map float ``-0.0`` to ``+0.0`` (NaN passes through).
+
+    ``-0.0 == 0.0``, so ``np.unique`` keeps an input-order-dependent
+    representative of the pair — which would leak row order into
+    ``repr``-hashed Bloom filters and interpolated histogram boundaries,
+    breaking the build's row-multiset invariance (and with it the
+    serial/parallel bit-identity guarantee)."""
+    if values.dtype.kind == "f":
+        return values + 0.0
+    return values
+
+
 def build_statistics(
     db: Database,
     config: ConditioningConfig | None = None,
     precompute_pk_joins: bool = True,
     build_trigrams: bool = True,
     track_updates: bool = False,
+    num_workers: int = 0,
+    shard_rows: int | None = None,
+    pool: str = "process",
 ) -> SafeBoundStats:
     """Run SafeBound's offline phase over every table of the database.
 
     With ``track_updates``, every join column additionally gets an exact
     frequency counter so the statistics can absorb inserts/deletes through
     :meth:`SafeBoundStats.apply_insert` / ``apply_delete`` between rebuilds.
+
+    ``num_workers > 1`` switches to the sharded parallel pipeline (see
+    :class:`ParallelBuildPlan`): rows are split into shards, per-shard
+    partial statistics are built in a worker pool, merged deterministically,
+    and compressed/clustered per join-column family — producing statistics
+    bit-identical to the serial build.
     """
     config = config or ConditioningConfig()
+    plan = ParallelBuildPlan(num_workers=num_workers, shard_rows=shard_rows, pool=pool)
+    if plan.parallel:
+        return _build_statistics_parallel(
+            db, config, precompute_pk_joins, build_trigrams, track_updates, plan
+        )
     started = time.perf_counter()
     stats = SafeBoundStats()
     for name, tschema in db.schema.tables.items():
@@ -232,35 +380,9 @@ def build_statistics(
             continue
         table = db.table(name)
         rel = RelationStats(name, table.num_rows)
-
-        filter_columns: dict[str, np.ndarray] = {}
-        for fcol in tschema.filter_columns:
-            values = table.column(fcol)
-            if values.dtype == object and not build_trigrams:
-                # Scalability ablation (Fig 10): keep equality stats only by
-                # replacing strings with their hash codes.
-                values = np.array([hash(v) for v in values.tolist()])
-            filter_columns[fcol] = values
-
-        if precompute_pk_joins:
-            for fk in db.schema.foreign_keys_of(name):
-                if fk.ref_table not in db:
-                    continue
-                dim_schema = db.schema.tables.get(fk.ref_table)
-                dim_table = db.table(fk.ref_table)
-                if dim_schema is None:
-                    continue
-                for dcol in dim_schema.filter_columns:
-                    vname = virtual_column_name(fk.column, fk.ref_table, dcol)
-                    values = _pull_dimension_column(
-                        table.column(fk.column),
-                        dim_table.column(fk.ref_column),
-                        dim_table.column(dcol),
-                    )
-                    if values.dtype == object and not build_trigrams:
-                        values = np.array([hash(v) for v in values.tolist()])
-                    filter_columns[vname] = values
-                    rel.virtual_columns[(fk.column, fk.ref_table, fk.ref_column, dcol)] = vname
+        filter_columns = _collect_filter_columns(
+            db, name, table, rel, precompute_pk_joins, build_trigrams
+        )
 
         for jcol in tschema.join_columns:
             rel.join_stats[jcol] = build_join_column_stats(
@@ -278,3 +400,132 @@ def build_statistics(
         stats.relations[name] = rel
     stats.build_seconds = time.perf_counter() - started
     return stats
+
+
+def _build_statistics_parallel(
+    db: Database,
+    config: ConditioningConfig,
+    precompute_pk_joins: bool,
+    build_trigrams: bool,
+    track_updates: bool,
+    plan: ParallelBuildPlan,
+) -> SafeBoundStats:
+    """The sharded pipeline: extract partials per shard in the worker pool,
+    merge them per table in shard order, then run compression/clustering on
+    the merged counters — finalize tasks also fan out to the pool.
+
+    Determinism: shard partials merge under a canonical ordering and every
+    finalize task reuses the serial builder functions with multiplicity
+    weights, so the result is bit-identical to ``num_workers=0`` for any
+    worker count or shard size.
+    """
+    started = time.perf_counter()
+    stats = SafeBoundStats()
+    rels: dict[str, RelationStats] = {}
+    shard_meta: dict[str, int] = {}
+    tables: dict[str, Table] = {}
+
+    with plan.make_executor() as executor:
+        shard_futures = {}
+        for name, tschema in db.schema.tables.items():
+            if name not in db:
+                continue
+            table = db.table(name)
+            tables[name] = table
+            rel = RelationStats(name, table.num_rows)
+            filter_columns = _collect_filter_columns(
+                db, name, table, rel, precompute_pk_joins, build_trigrams
+            )
+            rels[name] = rel
+            shards = plan.shards(table.num_rows)
+            shard_meta[name] = len(shards)
+            for index, (lo, hi) in enumerate(shards):
+                future = executor.submit(
+                    extract_shard_partial,
+                    name,
+                    {c: v[lo:hi] for c, v in table.columns.items()},
+                    list(tschema.join_columns),
+                    {c: v[lo:hi] for c, v in filter_columns.items()},
+                )
+                shard_futures[future] = (name, index)
+
+        # Merge each table's partials as soon as its last shard lands, and
+        # immediately fan its finalize work back out to the pool.
+        collected: dict[str, dict[int, TableShardPartial]] = {}
+        finalize_futures = []
+        for future in as_completed(shard_futures):
+            name, index = shard_futures[future]
+            collected.setdefault(name, {})[index] = future.result()
+            if len(collected[name]) != shard_meta[name]:
+                continue
+            merged = merge_shard_partials(
+                [collected[name][i] for i in range(shard_meta[name])]
+            )
+            del collected[name]
+            tschema = db.schema.tables[name]
+            filter_order = _filter_column_order(rels[name], tschema)
+            # Histogram boundaries are a function of the filter column's
+            # multiset only — identical for every join column, so derive
+            # them once per table (any pair family carries the multiset).
+            boundaries: dict[str, tuple[np.ndarray, int]] = {}
+            for (jcol, fcol), pc in merged.pair_counts.items():
+                if not pc.f_is_object and fcol not in boundaries:
+                    boundaries[fcol] = equi_depth_boundaries(
+                        pc.filter_multiset(), config.histogram_levels
+                    )
+            for jcol in tschema.join_columns:
+                pairs = {
+                    fcol: merged.pair_counts[(jcol, fcol)]
+                    for fcol in filter_order
+                    if fcol != jcol
+                }
+                finalize_futures.append(
+                    executor.submit(
+                        finalize_join_column,
+                        name,
+                        jcol,
+                        merged.column_counts[jcol],
+                        pairs,
+                        boundaries,
+                        config,
+                    )
+                )
+            finalize_futures.append(
+                executor.submit(
+                    finalize_fallback_cds,
+                    name,
+                    merged.column_counts,
+                    config.compression_accuracy,
+                )
+            )
+
+        join_results: dict[tuple[str, str], JoinColumnStats] = {}
+        fallback_results: dict[str, dict[str, PiecewiseLinear]] = {}
+        for future in finalize_futures:
+            result = future.result()
+            if len(result) == 3:
+                name, jcol, jstats = result
+                join_results[(name, jcol)] = jstats
+            else:
+                name, fallback = result
+                fallback_results[name] = fallback
+
+    # Deterministic assembly in schema order, matching the serial layout.
+    for name, rel in rels.items():
+        tschema = db.schema.tables[name]
+        for jcol in tschema.join_columns:
+            rel.join_stats[jcol] = join_results[(name, jcol)]
+        rel.fallback_cds = {
+            col: fallback_results[name][col] for col in tables[name].column_names
+        }
+        if track_updates:
+            rel.attach_incremental(tables[name], config.compression_accuracy)
+        stats.relations[name] = rel
+    stats.build_seconds = time.perf_counter() - started
+    return stats
+
+
+def _filter_column_order(rel: RelationStats, tschema) -> list[str]:
+    """The filter-family order of the serial build: declared filter columns
+    first, then virtual PK-FK columns in registration order."""
+    return list(tschema.filter_columns) + list(rel.virtual_columns.values())

@@ -92,18 +92,41 @@ class SuiteConfig:
     num_stats: int = 40
     seed: int = 1
     methods: list[str] = field(default_factory=lambda: list(METHOD_ORDER))
+    # SafeBound offline-build parallelism (0 = serial reference build; the
+    # parallel build is bit-identical, so results never depend on these).
+    build_workers: int = 0
+    build_shard_rows: int | None = None
+    build_pool: str = "thread"
 
 
 def default_estimators(
-    methods: list[str] | None = None, safebound_factory=None
+    methods: list[str] | None = None,
+    safebound_factory=None,
+    build_workers: int = 0,
+    build_shard_rows: int | None = None,
+    build_pool: str = "thread",
 ) -> dict:
     """Factories for every compared system.
 
     ``safebound_factory`` substitutes the plain in-process ``SafeBound``
     with any protocol-compatible variant — e.g. a
     ``repro.service.CatalogBackedSafeBound`` so the whole measurement
-    pipeline runs against catalog-published statistics.
+    pipeline runs against catalog-published statistics.  The build worker
+    knobs configure SafeBound's sharded parallel offline phase (see
+    ``core.stats_builder.ParallelBuildPlan``); they only change build
+    wall-clock, never the statistics, which stay bit-identical to a
+    serial build.
     """
+
+    def make_safebound():
+        return SafeBound(
+            SafeBoundConfig(
+                build_workers=build_workers,
+                build_shard_rows=build_shard_rows,
+                build_pool=build_pool,
+            )
+        )
+
     factories = {
         "TrueCardinality": TrueCardinalityEstimator,
         "Postgres": PostgresEstimator,
@@ -113,7 +136,7 @@ def default_estimators(
         "NeuroCard": lambda: NeuroCardEstimator(num_walks=50),
         "PessEst": PessEstEstimator,
         "Simplicity": SimplicityEstimator,
-        "SafeBound": safebound_factory or SafeBound,
+        "SafeBound": safebound_factory or make_safebound,
     }
     if methods is None:
         return factories
@@ -140,7 +163,12 @@ def run_end_to_end(
     """The shared measurement pass behind Figs 5-8."""
     config = config or SuiteConfig()
     workloads = build_workloads(config)
-    factories = default_estimators(config.methods)
+    factories = default_estimators(
+        config.methods,
+        build_workers=config.build_workers,
+        build_shard_rows=config.build_shard_rows,
+        build_pool=config.build_pool,
+    )
     return run_suite(workloads, factories, indexes_enabled=indexes_enabled)
 
 

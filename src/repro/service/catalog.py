@@ -28,11 +28,11 @@ import os
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.safebound import SafeBound, SafeBoundConfig
-from ..core.serialization import load_stats, save_stats
+from ..core.serialization import load_stats, save_stats_with_digest
 from ..core.stats_builder import SafeBoundStats
 from ..db.database import Database
 from ..db.query import Query
@@ -45,7 +45,13 @@ _MANIFEST_NAME = "MANIFEST.json"
 
 @dataclass(frozen=True)
 class StatsVersion:
-    """One published statistics version of one database."""
+    """One published statistics version of one database.
+
+    ``metadata`` carries build provenance: the content digest of the
+    statistics (``stats_digest``) plus, for parallel builds, the worker /
+    shard configuration that produced them — the digest is what lets an
+    operator verify that a parallel build matches its serial reference.
+    """
 
     database: str
     version: int
@@ -55,6 +61,7 @@ class StatsVersion:
     build_seconds: float
     num_sequences: int
     note: str = ""
+    metadata: dict = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -118,8 +125,19 @@ class StatsCatalog:
         versions = self.versions(database)
         return versions[-1] if versions else None
 
-    def publish(self, database: str, stats: SafeBoundStats, note: str = "") -> StatsVersion:
-        """Atomically publish ``stats`` as the next version of ``database``."""
+    def publish(
+        self,
+        database: str,
+        stats: SafeBoundStats,
+        note: str = "",
+        metadata: dict | None = None,
+    ) -> StatsVersion:
+        """Atomically publish ``stats`` as the next version of ``database``.
+
+        The manifest entry always records the statistics' content digest;
+        ``metadata`` adds caller context (e.g. the parallel-build worker
+        and shard configuration that produced the archive).
+        """
         with self._lock:
             directory = self._db_dir(database)
             directory.mkdir(parents=True, exist_ok=True)
@@ -127,7 +145,7 @@ class StatsCatalog:
             version = entries[-1]["version"] + 1 if entries else 1
             filename = f"v{version:06d}.npz"
             incoming = directory / f"incoming-{filename}"
-            file_bytes = save_stats(stats, str(incoming))
+            file_bytes, digest = save_stats_with_digest(stats, str(incoming))
             os.replace(incoming, directory / filename)
             entry = {
                 "version": version,
@@ -137,6 +155,7 @@ class StatsCatalog:
                 "build_seconds": stats.build_seconds,
                 "num_sequences": stats.num_sequences(),
                 "note": note,
+                "metadata": {"stats_digest": digest, **(metadata or {})},
             }
             self._write_entries(database, entries + [entry])
             return StatsVersion(database=database, **entry)
@@ -268,11 +287,21 @@ class CatalogBackedSafeBound(CardinalityEstimator):
         sb = SafeBound(self.config)
         sb.build(db)
         with self._swap_lock:
-            published = self.catalog.publish(self.database, sb.stats, note="build")
+            published = self.catalog.publish(
+                self.database, sb.stats, note="build", metadata=self.build_metadata()
+            )
             with self._lock:
                 self._safebound = sb
                 self._version = published.version
         self.build_seconds = sb.build_seconds
+
+    def build_metadata(self) -> dict:
+        """Build-parallelism provenance recorded with every publish."""
+        return {
+            "build_workers": self.config.build_workers,
+            "build_shard_rows": self.config.build_shard_rows,
+            "build_pool": self.config.build_pool,
+        }
 
     def refresh(self, db: Database | None = None) -> bool:
         """Hot-swap to the latest published version, if newer.

@@ -130,7 +130,10 @@ class UpdateIngest:
             fresh = SafeBound(estimator.config)
             fresh.build(self.db)
             version = estimator.catalog.publish(
-                estimator.database, fresh.stats, note=note
+                estimator.database,
+                fresh.stats,
+                note=note,
+                metadata=estimator.build_metadata(),
             )
             # Swap through the catalog (round-tripping the archive) so the
             # served statistics are exactly what a cold start would load.

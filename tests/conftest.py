@@ -2,12 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck
+from hypothesis import settings as hypothesis_settings
 
 from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.db.table import Table
+
+# Hypothesis profiles: "ci" is fully deterministic (derandomized, i.e. a
+# fixed seed derived from each test) so CI failures always reproduce;
+# "dev" keeps random exploration locally.  Select with HYPOTHESIS_PROFILE.
+hypothesis_settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

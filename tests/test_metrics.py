@@ -1,0 +1,134 @@
+"""Tests for serving-side observability (service/metrics.py) and the
+``python -m repro.service`` CLI entry point — argument handling, exit
+codes, and the shape of the JSON report."""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.__main__ import build_demo_database, demo_queries, main
+from repro.service.metrics import LatencyRecorder, ServerMetrics
+
+
+class TestLatencyRecorder:
+    def test_empty_summary_is_nan(self):
+        summary = LatencyRecorder().summary()
+        assert summary["count"] == 0
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            assert math.isnan(summary[key])
+
+    def test_summary_percentiles(self):
+        recorder = LatencyRecorder()
+        for ms in range(1, 101):
+            recorder.record(ms / 1000.0)
+        summary = recorder.summary()
+        assert summary["count"] == 100
+        assert summary["max"] == pytest.approx(0.100)
+        assert summary["p50"] == pytest.approx(np.quantile(np.arange(1, 101) / 1000.0, 0.5))
+        assert summary["p95"] >= summary["p50"] >= summary["mean"] * 0.5
+
+    def test_reservoir_is_bounded_but_count_is_not(self):
+        recorder = LatencyRecorder(capacity=10)
+        for _ in range(25):
+            recorder.record(0.001)
+        summary = recorder.summary()
+        assert summary["count"] == 25
+        assert len(recorder._samples) == 10
+
+    def test_concurrent_recording(self):
+        recorder = LatencyRecorder()
+
+        def hammer():
+            for _ in range(500):
+                recorder.record(0.002)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert recorder.summary()["count"] == 2000
+
+
+class TestServerMetrics:
+    def test_counters_accumulate(self):
+        metrics = ServerMetrics()
+        metrics.record_accepted()
+        metrics.record_accepted()
+        metrics.record_rejected()
+        metrics.record_batch(3)
+        metrics.record_batch(5)
+        metrics.record_completed(7)
+        metrics.record_failed()
+        metrics.record_swap()
+        snap = metrics.snapshot()
+        assert snap["accepted"] == 2
+        assert snap["rejected"] == 1
+        assert snap["batches"] == 2
+        assert snap["batched_requests"] == 8
+        assert snap["max_batch"] == 5
+        assert snap["completed"] == 7
+        assert snap["failed"] == 1
+        assert snap["swaps"] == 1
+        assert snap["mean_batch_size"] == pytest.approx(4.0)
+        assert metrics.mean_batch_size == pytest.approx(4.0)
+
+    def test_mean_batch_size_with_no_batches(self):
+        assert ServerMetrics().mean_batch_size == 0.0
+        assert ServerMetrics().snapshot()["mean_batch_size"] == 0.0
+
+    def test_snapshot_is_json_serialisable(self):
+        metrics = ServerMetrics()
+        metrics.record_batch(2)
+        metrics.queue_latency.record(0.001)
+        metrics.request_latency.record(0.004)
+        encoded = json.dumps(metrics.snapshot())
+        decoded = json.loads(encoded)
+        assert decoded["request_latency"]["count"] == 1
+
+
+class TestServiceCli:
+    def test_demo_database_shape(self):
+        db = build_demo_database(n_movies=50, n_ratings=400, seed=1)
+        assert db.table("movies").num_rows == 50
+        assert db.table("ratings").num_rows == 400
+        assert db.schema.foreign_keys[0].ref_table == "movies"
+        assert all(q.relations for q in demo_queries())
+
+    def test_bad_argument_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--requests", "not-a-number"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_unknown_flag_exits_with_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_smoke_run_emits_json_report(self, capsys, tmp_path):
+        code = main(
+            [
+                "--requests", "40",
+                "--concurrency", "4",
+                "--batch", "8",
+                "--updates", "1",
+                "--catalog", str(tmp_path / "catalog"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        report = json.loads(out)
+        assert report["completed"] == 40
+        assert report["served_version"] >= 1
+        assert report["catalog_versions"][0] == "v000001"
+        assert report["ingest"]["inserted_rows"] == 2000
+        assert report["ingest"]["deleted_rows"] == 500
+        assert "p99" in report["metrics"]["request_latency"]
+        # The catalog directory was really populated on disk.
+        assert (tmp_path / "catalog" / "demo" / "MANIFEST.json").exists()
