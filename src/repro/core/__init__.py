@@ -1,5 +1,6 @@
 """SafeBound core: degree sequences, compression, conditioning, FDSB."""
 
+from .arraykernel import Ragged, compile_array_program, evaluate_bounds
 from .bound import CompiledSkeleton, FdsbEngine, compile_skeleton, worst_case_instance_column
 from .cache import LRUCache
 from .compression import (
@@ -11,7 +12,7 @@ from .compression import (
     self_join_bound,
     valid_compress,
 )
-from .conditioning import ConditioningConfig
+from .conditioning import ConditionedRelation, ConditioningConfig
 from .degree_sequence import DegreeSequence
 from .piecewise import (
     PiecewiseConstant,
@@ -32,6 +33,10 @@ __all__ = [
     "SafeBound",
     "SafeBoundConfig",
     "ConditioningConfig",
+    "ConditionedRelation",
+    "Ragged",
+    "compile_array_program",
+    "evaluate_bounds",
     "DegreeSequence",
     "FdsbEngine",
     "CompiledSkeleton",

@@ -1,0 +1,1004 @@
+"""Vectorized piecewise array-program engine for the online bound path.
+
+The FDSB hot path (core/bound.py) evaluates Algorithm 2 as a recursion of
+per-object :class:`~.piecewise.PiecewiseConstant` /
+:class:`~.piecewise.PiecewiseLinear` method calls — dozens of small numpy
+invocations per query, dominated by call overhead rather than FLOPs.  This
+module lowers the same computation into a *batched* form:
+
+* a :class:`Ragged` structure-of-arrays holds one piecewise function per
+  *segment* — all breakpoints of a whole batch packed into contiguous
+  ``(xs, ys, offsets)`` buffers;
+* segmented kernels (``batch_delta``, ``batch_inverse``, ``batch_compose``,
+  ``batch_compose_with``, ``batch_multiply``, ``batch_integral``, the
+  pointwise min/max/sum family, ``batch_concave_envelope``) evaluate one
+  operation for every segment in a handful of numpy passes;
+* :func:`compile_array_program` flattens a
+  :class:`~.bound.CompiledSkeleton`'s alpha/beta recursion — across *all*
+  of its spanning-tree plans, with common-subexpression elimination — into
+  a linear op list, and :func:`evaluate_bounds` executes the programs of a
+  whole heterogeneous batch, scheduling ops of the same kind from every
+  query/skeleton into shared kernel calls.
+
+**Bit-identity contract.**  Every kernel performs exactly the floating-
+point operations of its object-path twin, in the same order, on the same
+values: shared elementwise cores live in ``core/piecewise.py``
+(``_interp_core``, ``_pseudo_inverse_core``, ``_sequential_sum``), the
+segmented searchsorted reproduces binary-search index semantics exactly,
+and segmented sums use the same ``np.add.reduceat`` (strict left-to-right)
+as ``PiecewiseConstant.integral``.  The differential suite
+(tests/test_array_kernel.py) asserts exact float equality of bounds
+against the object kernel on every bundled workload; the object path stays
+available as the oracle via ``SafeBoundConfig.eval_kernel = "object"``.
+
+The one sequential-in-points exception is the concave-envelope hull scan,
+whose tolerance-based pops are order-dependent; it is vectorized across
+the batch (all segments advance through the scan together) but follows the
+exact per-segment pop sequence of the scalar algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .piecewise import (
+    _EPS,
+    _interp_core,
+    _pseudo_inverse_core,
+)
+
+__all__ = [
+    "Ragged",
+    "batch_delta",
+    "batch_inverse",
+    "batch_compose",
+    "batch_compose_with",
+    "batch_multiply",
+    "batch_constant",
+    "batch_integral",
+    "batch_pointwise_min",
+    "batch_pointwise_max",
+    "batch_pointwise_sum",
+    "batch_concave_envelope",
+    "batch_concave_max",
+    "compile_array_program",
+    "evaluate_bounds",
+]
+
+
+# ----------------------------------------------------------------------
+# Ragged batches
+# ----------------------------------------------------------------------
+class Ragged:
+    """A batch of piecewise functions in structure-of-arrays form.
+
+    Segment ``i`` (one function) occupies the half-open slice
+    ``offsets[i]:offsets[i+1]`` of the flat ``xs`` / ``ys`` buffers.  A
+    zero-length segment is the empty ``PiecewiseConstant``; piecewise-
+    linear segments always hold at least one breakpoint.
+    """
+
+    __slots__ = ("xs", "ys", "offsets", "_ids", "_lengths")
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, offsets: np.ndarray) -> None:
+        self.xs = xs
+        self.ys = ys
+        self.offsets = offsets
+        self._ids = None
+        self._lengths = None
+
+    @property
+    def batch(self) -> int:
+        return len(self.offsets) - 1
+
+    def lengths(self) -> np.ndarray:
+        if self._lengths is None:
+            self._lengths = np.diff(self.offsets)
+        return self._lengths
+
+    def ids(self) -> np.ndarray:
+        """Segment id of every flat element (cached)."""
+        if self._ids is None:
+            self._ids = np.repeat(np.arange(self.batch), self.lengths())
+        return self._ids
+
+    @staticmethod
+    def from_functions(funcs) -> "Ragged":
+        """Pack PiecewiseLinear / PiecewiseConstant objects into one batch."""
+        if not funcs:
+            return Ragged(np.empty(0), np.empty(0), np.zeros(1, dtype=np.int64))
+        lengths = np.array([len(f.xs) for f in funcs], dtype=np.int64)
+        offsets = _offsets_from_lengths(lengths)
+        if offsets[-1]:
+            xs = np.concatenate([f.xs for f in funcs])
+            ys = np.concatenate([f.ys for f in funcs])
+        else:
+            xs = np.empty(0)
+            ys = np.empty(0)
+        return Ragged(xs, ys, offsets)
+
+    def segment_arrays(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (xs, ys) slice of segment ``i`` (views, for tests)."""
+        lo, hi = self.offsets[i], self.offsets[i + 1]
+        return self.xs[lo:hi], self.ys[lo:hi]
+
+
+def _offsets_from_lengths(lengths: np.ndarray) -> np.ndarray:
+    out = np.empty(len(lengths) + 1, dtype=np.int64)
+    out[0] = 0
+    np.cumsum(lengths, out=out[1:])
+    return out
+
+
+def _ids_from_offsets(offsets: np.ndarray) -> np.ndarray:
+    return np.repeat(np.arange(len(offsets) - 1), np.diff(offsets))
+
+
+def _firsts(vals: np.ndarray, offsets: np.ndarray, default: float = 0.0) -> np.ndarray:
+    """Per-segment first element (``default`` for empty segments)."""
+    lengths = np.diff(offsets)
+    out = np.full(len(lengths), default)
+    nz = lengths > 0
+    out[nz] = vals[offsets[:-1][nz]]
+    return out
+
+
+def _lasts(vals: np.ndarray, offsets: np.ndarray, default: float = 0.0) -> np.ndarray:
+    """Per-segment last element (``default`` for empty segments)."""
+    lengths = np.diff(offsets)
+    out = np.full(len(lengths), default)
+    nz = lengths > 0
+    out[nz] = vals[offsets[1:][nz] - 1]
+    return out
+
+
+def _filter_elements(
+    vals: np.ndarray, offsets: np.ndarray, mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep masked elements, preserving segment structure."""
+    ids = _ids_from_offsets(offsets)
+    counts = np.bincount(ids[mask], minlength=len(offsets) - 1)
+    return vals[mask], _offsets_from_lengths(counts)
+
+
+def _prev_in_segment(vals: np.ndarray, offsets: np.ndarray, fill: float) -> np.ndarray:
+    """Element shifted right by one within each segment, ``fill`` at starts."""
+    out = np.empty_like(vals)
+    if len(vals):
+        out[1:] = vals[:-1]
+        out[0] = fill
+        lengths = np.diff(offsets)
+        out[offsets[:-1][lengths > 0]] = fill
+    return out
+
+
+def _append_where(
+    vals: np.ndarray, offsets: np.ndarray, extra: np.ndarray, need: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Append ``extra[i]`` to the end of segment ``i`` where ``need[i]``."""
+    if not need.any():
+        return vals, offsets
+    lengths = np.diff(offsets)
+    new_off = _offsets_from_lengths(lengths + need.astype(np.int64))
+    out = np.empty(new_off[-1])
+    ids = _ids_from_offsets(offsets)
+    local = np.arange(len(vals)) - offsets[:-1][ids]
+    out[new_off[:-1][ids] + local] = vals
+    out[new_off[1:][need] - 1] = extra[need]
+    return out, new_off
+
+
+def _gather_segments(r: Ragged, sel: np.ndarray) -> Ragged:
+    """The sub-batch made of segments ``sel`` (in the given order)."""
+    lengths = np.diff(r.offsets)[sel]
+    offsets = _offsets_from_lengths(lengths)
+    ids = _ids_from_offsets(offsets)
+    pos = r.offsets[:-1][sel][ids] + (np.arange(offsets[-1]) - offsets[:-1][ids])
+    return Ragged(r.xs[pos], r.ys[pos], offsets)
+
+
+def _scatter_segments(parts: list[tuple[np.ndarray, Ragged]], batch: int) -> Ragged:
+    """Reassemble a batch of ``batch`` segments from indexed sub-batches;
+    segments covered by no part come out empty."""
+    lengths = np.zeros(batch, dtype=np.int64)
+    for sel, sub in parts:
+        lengths[sel] = sub.lengths()
+    offsets = _offsets_from_lengths(lengths)
+    xs = np.empty(offsets[-1])
+    ys = np.empty(offsets[-1])
+    for sel, sub in parts:
+        ids = sub.ids()
+        pos = offsets[:-1][sel][ids] + (np.arange(len(sub.xs)) - sub.offsets[:-1][ids])
+        xs[pos] = sub.xs
+        ys[pos] = sub.ys
+    return Ragged(xs, ys, offsets)
+
+
+# ----------------------------------------------------------------------
+# Segmented primitives
+# ----------------------------------------------------------------------
+def _seg_searchsorted(
+    a_vals: np.ndarray,
+    a_offsets: np.ndarray,
+    q_vals: np.ndarray,
+    q_offsets: np.ndarray,
+    side: str,
+) -> np.ndarray:
+    """``np.searchsorted`` of every query against its own segment.
+
+    A vectorized binary search with the same comparison semantics as the
+    scalar routine, so indices — and therefore every downstream gather —
+    match the object path exactly.  Returns segment-local indices.
+    """
+    if not len(q_vals):
+        return np.zeros(0, dtype=np.int64)
+    qb = _ids_from_offsets(q_offsets)
+    base = a_offsets[:-1][qb]
+    lo = base.copy()
+    hi = a_offsets[1:][qb].copy()
+    if len(a_vals):
+        maxi = len(a_vals) - 1
+        right = side == "right"
+        while True:
+            act = lo < hi
+            if not act.any():
+                break
+            mid = (lo + hi) >> 1
+            av = a_vals[np.minimum(mid, maxi)]
+            go = (av <= q_vals) if right else (av < q_vals)
+            go &= act
+            hi = np.where(act & ~go, mid, hi)
+            lo = np.where(go, mid + 1, lo)
+    return lo - base
+
+
+def _seg_merge_unique(
+    a_vals: np.ndarray,
+    a_off: np.ndarray,
+    b_vals: np.ndarray,
+    b_off: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment ``np.unique(np.concatenate((a, b)))`` for segment-sorted
+    inputs: a stable vectorized merge followed by an equality dedupe."""
+    batch = len(a_off) - 1
+    ia = _seg_searchsorted(b_vals, b_off, a_vals, a_off, "left")
+    ib = _seg_searchsorted(a_vals, a_off, b_vals, b_off, "right")
+    aidx = _ids_from_offsets(a_off)
+    bidx = _ids_from_offsets(b_off)
+    m_off = _offsets_from_lengths(np.diff(a_off) + np.diff(b_off))
+    merged = np.empty(m_off[-1])
+    merged[m_off[:-1][aidx] + (np.arange(len(a_vals)) - a_off[:-1][aidx]) + ia] = a_vals
+    merged[m_off[:-1][bidx] + (np.arange(len(b_vals)) - b_off[:-1][bidx]) + ib] = b_vals
+    mb = _ids_from_offsets(m_off)
+    keep = np.empty(len(merged), dtype=bool)
+    if len(merged):
+        keep[0] = True
+        keep[1:] = (merged[1:] != merged[:-1]) | (mb[1:] != mb[:-1])
+        counts = np.bincount(mb[keep], minlength=batch)
+        return merged[keep], _offsets_from_lengths(counts)
+    return merged, m_off
+
+
+def _seg_interp(q_vals: np.ndarray, q_off: np.ndarray, f: Ragged) -> np.ndarray:
+    """Evaluate piecewise-linear segments at ragged query points — the
+    batched twin of ``PiecewiseLinear.__call__`` (same ``_interp_core``)."""
+    if not len(q_vals):
+        return np.zeros(0)
+    qb = _ids_from_offsets(q_off)
+    n = np.diff(f.offsets)[qb]
+    idx = _seg_searchsorted(f.xs, f.offsets, q_vals, q_off, "right")
+    i1 = np.clip(idx, 1, np.maximum(n - 1, 1))
+    single = n <= 1
+    i1 = np.where(single, 0, i1)
+    i0 = np.where(single, 0, i1 - 1)
+    base = f.offsets[:-1][qb]
+    last = f.offsets[1:][qb] - 1
+    return _interp_core(
+        q_vals,
+        f.xs[base + i0],
+        f.xs[base + i1],
+        f.ys[base + i0],
+        f.ys[base + i1],
+        f.xs[base],
+        f.ys[base],
+        f.xs[last],
+        f.ys[last],
+    )
+
+
+def _seg_inverse_values(v_vals: np.ndarray, v_off: np.ndarray, f: Ragged) -> np.ndarray:
+    """Batched twin of ``PiecewiseLinear.inverse_values`` (pseudo-inverse)."""
+    if not len(v_vals):
+        return np.zeros(0)
+    vb = _ids_from_offsets(v_off)
+    n = np.diff(f.offsets)[vb]
+    idx = _seg_searchsorted(f.ys, f.offsets, v_vals, v_off, "left")
+    i1 = np.clip(idx, 1, np.maximum(n - 1, 1))
+    single = n <= 1
+    i1 = np.where(single, 0, i1)
+    i0 = np.where(single, 0, i1 - 1)
+    base = f.offsets[:-1][vb]
+    last = f.offsets[1:][vb] - 1
+    return _pseudo_inverse_core(
+        v_vals,
+        f.xs[base + i0],
+        f.xs[base + i1],
+        f.ys[base + i0],
+        f.ys[base + i1],
+        f.xs[base],
+        f.ys[base],
+        f.xs[last],
+        f.ys[last],
+    )
+
+
+def _seg_dedupe_pl(
+    xs: np.ndarray, ys: np.ndarray, offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment ``_dedupe_breakpoints`` (the PiecewiseLinear constructor
+    normalisation), including its keep-the-domain-end tail rule."""
+    n = len(xs)
+    if n == 0:
+        return xs, ys, offsets
+    lengths = np.diff(offsets)
+    ids = _ids_from_offsets(offsets)
+    keep = np.empty(n, dtype=bool)
+    keep[1:] = (xs[1:] - xs[:-1]) > _EPS
+    starts = offsets[:-1][lengths > 0]
+    keep[starts] = True
+    # Tail rule for multi-point segments whose final breakpoint got dropped:
+    # force-keep it, and drop its predecessor instead when they are within
+    # _EPS (unless the predecessor is the segment start).
+    runmax = np.maximum.accumulate(np.where(keep, np.arange(n), -1))
+    multi = lengths > 1
+    ml = (offsets[1:] - 1)[multi]
+    need_fix = ~keep[ml]
+    keep[ml] = True
+    fix_last = ml[need_fix]
+    prev = runmax[fix_last - 1]
+    cond = (xs[fix_last] - xs[prev]) <= _EPS
+    pp = prev[cond]
+    keep[pp] = pp == offsets[:-1][multi][need_fix][cond]
+    counts = np.bincount(ids[keep], minlength=len(lengths))
+    return xs[keep], ys[keep], _offsets_from_lengths(counts)
+
+
+def _seg_simplify_pc(
+    xs: np.ndarray, ys: np.ndarray, offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment ``PiecewiseConstant.simplify`` (merge equal-value runs)."""
+    n = len(xs)
+    if n == 0:
+        return xs, ys, offsets
+    lengths = np.diff(offsets)
+    ids = _ids_from_offsets(offsets)
+    keep = np.zeros(n, dtype=bool)
+    lastpos = (offsets[1:] - 1)[lengths > 0]
+    keep[lastpos] = True
+    inner = np.ones(n, dtype=bool)
+    inner[lastpos] = False
+    j = np.flatnonzero(inner)
+    keep[j] = np.abs(ys[j + 1] - ys[j]) > _EPS * (1.0 + np.abs(ys[j]))
+    counts = np.bincount(ids[keep], minlength=len(lengths))
+    return xs[keep], ys[keep], _offsets_from_lengths(counts)
+
+
+# ----------------------------------------------------------------------
+# Batched piecewise operations
+# ----------------------------------------------------------------------
+def batch_delta(f: Ragged) -> Ragged:
+    """Batched ``PiecewiseLinear.delta``: per-segment derivative steps."""
+    lengths = f.lengths()
+    if not len(f.xs):
+        return Ragged(f.xs, f.ys, f.offsets)
+    notfirst = np.ones(len(f.xs), dtype=bool)
+    notfirst[f.offsets[:-1][lengths > 0]] = False
+    j = np.flatnonzero(notfirst)
+    xs = f.xs[j]
+    slopes = (f.ys[j] - f.ys[j - 1]) / (f.xs[j] - f.xs[j - 1])
+    offsets = _offsets_from_lengths(np.maximum(lengths - 1, 0))
+    return Ragged(*_seg_simplify_pc(xs, slopes, offsets))
+
+
+def batch_inverse(f: Ragged) -> Ragged:
+    """Batched ``PiecewiseLinear.inverse`` (leftmost-x pseudo-inverse)."""
+    lengths = f.lengths()
+    if not len(f.xs):
+        return Ragged(f.xs, f.ys, f.offsets)
+    first = np.zeros(len(f.xs), dtype=bool)
+    first[f.offsets[:-1][lengths > 0]] = True
+    keep = first.copy()
+    j = np.flatnonzero(~first)
+    keep[j] = (f.ys[j] - f.ys[j - 1]) > _EPS
+    counts = np.bincount(f.ids()[keep], minlength=f.batch)
+    return Ragged(*_seg_dedupe_pl(f.ys[keep], f.xs[keep], _offsets_from_lengths(counts)))
+
+
+def batch_compose(outer: Ragged, inner: Ragged) -> Ragged:
+    """Batched ``PiecewiseLinear.compose``: ``x -> outer(inner(x))``."""
+    ob = outer.ids()
+    lo_y = _firsts(inner.ys, inner.offsets)
+    hi_y = _lasts(inner.ys, inner.offsets)
+    mask = (outer.xs > lo_y[ob] + _EPS) & (outer.xs < hi_y[ob] - _EPS)
+    int_vals, int_off = _filter_elements(outer.xs, outer.offsets, mask)
+    inv_vals = _seg_inverse_values(int_vals, int_off, inner)
+    xs, xoff = _seg_merge_unique(inner.xs, inner.offsets, inv_vals, int_off)
+    ys = _seg_interp(_seg_interp(xs, xoff, inner), xoff, outer)
+    return Ragged(*_seg_dedupe_pl(xs, ys, xoff))
+
+
+def batch_compose_with(f: Ragged, inner: Ragged) -> Ragged:
+    """Batched ``PiecewiseConstant.compose_with``: ``x -> f(inner(x))`` for
+    nondecreasing piecewise-linear ``inner`` (the beta-step kernel)."""
+    lf = f.lengths()
+    li = inner.lengths()
+    alive = (lf > 0) & (li >= 2)
+    if not alive.any():
+        return Ragged(np.empty(0), np.empty(0), np.zeros(f.batch + 1, dtype=np.int64))
+    ai = np.flatnonzero(alive)
+    f2 = _gather_segments(f, ai)
+    in2 = _gather_segments(inner, ai)
+    inner_end = _lasts(in2.xs, in2.offsets)
+    # Candidate edges: inner's own breakpoints (minus the leading one) plus
+    # the preimages of f's segment edges interior to inner's value range.
+    notfirst = np.ones(len(in2.xs), dtype=bool)
+    notfirst[in2.offsets[:-1]] = False
+    a_vals = in2.xs[notfirst]
+    a_off = _offsets_from_lengths(in2.lengths() - 1)
+    lo_y = _firsts(in2.ys, in2.offsets)
+    hi_y = _lasts(in2.ys, in2.offsets)
+    fb = f2.ids()
+    im = (f2.xs > lo_y[fb] + _EPS) & (f2.xs < hi_y[fb] - _EPS)
+    b_vals, b_off = _filter_elements(f2.xs, f2.offsets, im)
+    binv = _seg_inverse_values(b_vals, b_off, in2)
+    e_vals, e_off = _seg_merge_unique(a_vals, a_off, binv, b_off)
+    eb = _ids_from_offsets(e_off)
+    fm = (e_vals > _EPS) & (e_vals <= inner_end[eb] + _EPS)
+    e_vals, e_off = _filter_elements(e_vals, e_off, fm)
+    last_e = _lasts(e_vals, e_off, default=-np.inf)
+    need = (np.diff(e_off) == 0) | (last_e < inner_end - _EPS)
+    e_vals, e_off = _append_where(e_vals, e_off, inner_end, need)
+    mids = (_prev_in_segment(e_vals, e_off, 0.0) + e_vals) / 2.0
+    ivals = _seg_interp(mids, e_off, in2)
+    eb2 = _ids_from_offsets(e_off)
+    idx = _seg_searchsorted(f2.xs, f2.offsets, ivals, e_off, "left")
+    idx = np.minimum(idx, (f2.lengths() - 1)[eb2])
+    f_end = _lasts(f2.xs, f2.offsets)
+    inside = (ivals > 0) & (ivals <= f_end[eb2] + _EPS)
+    vals = np.where(inside, f2.ys[f2.offsets[:-1][eb2] + idx], 0.0)
+    sub = Ragged(*_seg_simplify_pc(e_vals, vals, e_off))
+    return _scatter_segments([(ai, sub)], f.batch)
+
+
+def batch_multiply(a: Ragged, b: Ragged) -> Ragged:
+    """Batched ``PiecewiseConstant.multiply`` (the alpha-step kernel)."""
+    end = np.minimum(_lasts(a.xs, a.offsets, 0.0), _lasts(b.xs, b.offsets, 0.0))
+    alive = end > 0
+    if not alive.any():
+        return Ragged(np.empty(0), np.empty(0), np.zeros(a.batch + 1, dtype=np.int64))
+    ai = np.flatnonzero(alive)
+    a2 = _gather_segments(a, ai)
+    b2 = _gather_segments(b, ai)
+    end2 = end[ai]
+    e_vals, e_off = _seg_merge_unique(a2.xs, a2.offsets, b2.xs, b2.offsets)
+    eb = _ids_from_offsets(e_off)
+    e_vals, e_off = _filter_elements(e_vals, e_off, e_vals <= end2[eb] + _EPS)
+    last_e = _lasts(e_vals, e_off, default=-np.inf)
+    need = (np.diff(e_off) == 0) | (last_e < end2 - _EPS)
+    e_vals, e_off = _append_where(e_vals, e_off, end2, need)
+    eb2 = _ids_from_offsets(e_off)
+    ia = _seg_searchsorted(a2.xs, a2.offsets, e_vals, e_off, "left")
+    ia = np.minimum(ia, (a2.lengths() - 1)[eb2])
+    ib = _seg_searchsorted(b2.xs, b2.offsets, e_vals, e_off, "left")
+    ib = np.minimum(ib, (b2.lengths() - 1)[eb2])
+    vals = a2.ys[a2.offsets[:-1][eb2] + ia] * b2.ys[b2.offsets[:-1][eb2] + ib]
+    sub = Ragged(*_seg_simplify_pc(e_vals, vals, e_off))
+    return _scatter_segments([(ai, sub)], a.batch)
+
+
+def batch_constant(ends: np.ndarray, value: float = 1.0) -> Ragged:
+    """Batched ``PiecewiseConstant.constant(value, end)`` (empty when
+    ``end <= 0``)."""
+    alive = ends > 0
+    offsets = _offsets_from_lengths(alive.astype(np.int64))
+    xs = ends[alive].astype(float)
+    return Ragged(xs, np.full(len(xs), float(value)), offsets)
+
+
+def batch_integral(f: Ragged) -> np.ndarray:
+    """Batched ``PiecewiseConstant.integral``: per-segment strict
+    left-to-right ``reduceat`` sums, bit-identical to the scalar path."""
+    out = np.zeros(f.batch)
+    widths = f.xs - _prev_in_segment(f.xs, f.offsets, 0.0)
+    prod = widths * f.ys
+    nz = f.lengths() > 0
+    if prod.size and nz.any():
+        out[nz] = np.add.reduceat(prod, f.offsets[:-1][nz].astype(np.intp))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Batched pointwise combinations (predicate-conditioning algebra)
+# ----------------------------------------------------------------------
+def _batch_combined_grid(
+    parts: list[Ragged], ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ``_combined_grid``: union of breakpoints within the domain
+    plus the {0, end} anchors of every segment."""
+    lo = np.minimum(0.0, ends)
+    hi = np.maximum(0.0, ends)
+    acc_vals = np.column_stack((lo, hi)).ravel()
+    acc_off = _offsets_from_lengths(np.full(len(ends), 2, dtype=np.int64))
+    for p in parts:
+        pb = p.ids()
+        f_vals, f_off = _filter_elements(p.xs, p.offsets, p.xs <= ends[pb] + _EPS)
+        acc_vals, acc_off = _seg_merge_unique(acc_vals, acc_off, f_vals, f_off)
+    gb = _ids_from_offsets(acc_off)
+    mask = (acc_vals >= -_EPS) & (acc_vals <= ends[gb] + _EPS)
+    return _filter_elements(acc_vals, acc_off, mask)
+
+
+def _batch_crossings(
+    a: Ragged, b: Ragged, g_vals: np.ndarray, g_off: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ``_crossings``: per-segment crossing points of two
+    piecewise-linear functions between consecutive grid points."""
+    va = _seg_interp(g_vals, g_off, a)
+    vb = _seg_interp(g_vals, g_off, b)
+    d = va - vb
+    lengths = np.diff(g_off)
+    notlast = np.ones(len(g_vals), dtype=bool)
+    notlast[(g_off[1:] - 1)[lengths > 0]] = False
+    j = np.flatnonzero(notlast)
+    jj = j[d[j] * d[j + 1] < -_EPS]
+    x0, x1 = g_vals[jj], g_vals[jj + 1]
+    d0, d1 = d[jj], d[jj + 1]
+    cross = x0 + (x1 - x0) * (d0 / (d0 - d1))
+    ids = _ids_from_offsets(g_off)
+    counts = np.bincount(ids[jj], minlength=len(lengths))
+    return cross, _offsets_from_lengths(counts)
+
+
+def _batch_pointwise(parts: list[Ragged], mode: str) -> Ragged:
+    if not parts:
+        raise ValueError("need at least one function")
+    if len(parts) == 1:
+        return parts[0]
+    if mode == "sum":
+        # Matches ``sum(f.domain_end for f in funcs)``: 0 + e_0 + e_1 + ...
+        ends = np.zeros(parts[0].batch)
+        for p in parts:
+            ends = ends + _lasts(p.xs, p.offsets)
+    else:
+        combine = np.minimum if mode == "min" else np.maximum
+        ends = _lasts(parts[0].xs, parts[0].offsets)
+        for p in parts[1:]:
+            ends = combine(ends, _lasts(p.xs, p.offsets))
+    g_vals, g_off = _batch_combined_grid(parts, ends)
+    if mode != "sum":
+        for i in range(len(parts)):
+            for j in range(i + 1, len(parts)):
+                c_vals, c_off = _batch_crossings(parts[i], parts[j], g_vals, g_off)
+                g_vals, g_off = _seg_merge_unique(g_vals, g_off, c_vals, c_off)
+    rows = np.vstack([_seg_interp(g_vals, g_off, p) for p in parts])
+    if mode == "min":
+        ys = np.min(rows, axis=0)
+    elif mode == "max":
+        ys = np.max(rows, axis=0)
+    else:
+        ys = np.sum(rows, axis=0)
+    return Ragged(*_seg_dedupe_pl(g_vals, ys, g_off))
+
+
+def batch_pointwise_min(parts: list[Ragged]) -> Ragged:
+    """Batched ``pointwise_min`` (conjunction of predicates)."""
+    return _batch_pointwise(parts, "min")
+
+
+def batch_pointwise_max(parts: list[Ragged]) -> Ragged:
+    """Batched ``pointwise_max`` (default MCV sequence)."""
+    return _batch_pointwise(parts, "max")
+
+
+def batch_pointwise_sum(parts: list[Ragged]) -> Ragged:
+    """Batched ``pointwise_sum`` (disjunction / IN predicates)."""
+    return _batch_pointwise(parts, "sum")
+
+
+def batch_concave_envelope(f: Ragged) -> Ragged:
+    """Batched ``concave_envelope`` (least concave majorant).
+
+    All segments advance through the hull scan together — one push round
+    per breakpoint index, pop rounds shared across the batch — while each
+    segment follows the exact pop sequence of the scalar stack algorithm
+    (the tolerance-based pops are order-dependent, so the order is part of
+    the bit-identity contract).
+    """
+    lengths = f.lengths()
+    proc = lengths > 2
+    if not proc.any():
+        return f
+    pi = np.flatnonzero(proc)
+    f2 = _gather_segments(f, pi)
+    starts = f2.offsets[:-1]
+    l2 = f2.lengths()
+    bufx = np.empty(len(f2.xs))
+    bufy = np.empty(len(f2.ys))
+    top = starts.astype(np.int64).copy()
+    segs = np.arange(len(pi))
+    for j in range(int(l2.max())):
+        act = segs[l2 > j]
+        src = starts[act] + j
+        dst = top[act]
+        bufx[dst] = f2.xs[src]
+        bufy[dst] = f2.ys[src]
+        top[act] = dst + 1
+        cand = act[(top[act] - starts[act]) >= 3]
+        while len(cand):
+            t = top[cand]
+            x0, y0 = bufx[t - 3], bufy[t - 3]
+            x1, y1 = bufx[t - 2], bufy[t - 2]
+            x2, y2 = bufx[t - 1], bufy[t - 1]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                cross = np.where(
+                    x2 - x0 <= _EPS,
+                    np.maximum(y0, y2),
+                    y0 + (y2 - y0) * (x1 - x0) / (x2 - x0),
+                )
+            popping = cand[y1 <= cross + _EPS]
+            if not len(popping):
+                break
+            tp = top[popping]
+            bufx[tp - 2] = bufx[tp - 1]
+            bufy[tp - 2] = bufy[tp - 1]
+            top[popping] = tp - 1
+            cand = popping[(top[popping] - starts[popping]) >= 3]
+    hull_len = top - starts
+    hull_off = _offsets_from_lengths(hull_len)
+    ids = _ids_from_offsets(hull_off)
+    pos = starts[ids] + (np.arange(hull_off[-1]) - hull_off[:-1][ids])
+    sub = Ragged(*_seg_dedupe_pl(bufx[pos], bufy[pos], hull_off))
+    rest = np.flatnonzero(~proc)
+    return _scatter_segments([(pi, sub), (rest, _gather_segments(f, rest))], f.batch)
+
+
+def batch_concave_max(parts: list[Ragged]) -> Ragged:
+    """Batched ``concave_max``: envelope of the crossing-free pointwise max
+    of concave inputs (the group-compression hot path)."""
+    if not parts:
+        raise ValueError("need at least one function")
+    if len(parts) == 1:
+        return batch_concave_envelope(parts[0])
+    ends = _lasts(parts[0].xs, parts[0].offsets)
+    for p in parts[1:]:
+        ends = np.maximum(ends, _lasts(p.xs, p.offsets))
+    g_vals, g_off = _batch_combined_grid(parts, ends)
+    ys = np.max(np.vstack([_seg_interp(g_vals, g_off, p) for p in parts]), axis=0)
+    return batch_concave_envelope(Ragged(*_seg_dedupe_pl(g_vals, ys, g_off)))
+
+
+# ----------------------------------------------------------------------
+# The array program: compiled skeleton -> flat op list
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrayProgram:
+    """A CompiledSkeleton's bound recursion as straight-line batched ops.
+
+    The alpha/beta recursion of *every* spanning-tree plan is flattened
+    into one op list with common-subexpression elimination: spanning trees
+    share most subtrees, so identical messages compile to one op.  Operand
+    references encode the preamble register ``i`` as ``-(i + 1)`` and body
+    register ``i`` as ``i`` (body op ``i``'s output is register ``i``).
+
+    * ``pre_ops`` — plan-independent per-edge work (``('inv', edge)``,
+      ``('delta', edge)``, ``('comp', inv_reg, parent_edge)``), the batched
+      twins of the object path's memoised ``inverse()``/``delta()`` and its
+      per-plan recomputed ``inverse().compose(parent)``;
+    * ``body_ops`` — ``('const', root, kid_edges)``, ``('cw', msg, inner)``
+      and ``('mul', a, b)`` steps of the message recursion;
+    * ``integrals`` — body registers whose per-segment integral becomes a
+      scalar slot;
+    * ``plan_slots`` — per plan, the root results in evaluation order,
+      each ``('card', alias_index)`` or ``('slot', integral_index)``;
+    * ``schedule`` — body ops grouped by dependency level then kind, so
+      the executor can run every independent same-kind op (across plans,
+      and across skeletons at execution time) in one kernel call.
+    """
+
+    pre_ops: tuple
+    body_ops: tuple
+    integrals: tuple
+    plan_slots: tuple
+    schedule: tuple
+
+
+def compile_array_program(skeleton) -> ArrayProgram:
+    """Lower ``skeleton``'s bound recursion (all plans) into an
+    :class:`ArrayProgram`; cached on the skeleton object."""
+    cached = getattr(skeleton, "_array_program", None)
+    if cached is not None:
+        return cached
+
+    pre_index: dict[tuple, int] = {}
+    pre_ops: list[tuple] = []
+    body_index: dict[tuple, int] = {}
+    body_ops: list[tuple] = []
+    integral_index: dict[int, int] = {}
+    integrals: list[int] = []
+
+    def pre_op(key: tuple) -> int:
+        reg = pre_index.get(key)
+        if reg is None:
+            reg = len(pre_ops)
+            pre_index[key] = reg
+            pre_ops.append(key)
+        return reg
+
+    def inv(edge: int) -> int:
+        return pre_op(("inv", edge))
+
+    def delta(edge: int) -> int:
+        return pre_op(("delta", edge))
+
+    def comp(edge: int, parent_edge: int) -> int:
+        return pre_op(("comp", inv(edge), parent_edge))
+
+    def body_op(key: tuple) -> int:
+        reg = body_index.get(key)
+        if reg is None:
+            reg = len(body_ops)
+            body_index[key] = reg
+            body_ops.append(key)
+        return reg
+
+    def integral_slot(reg: int) -> int:
+        slot = integral_index.get(reg)
+        if slot is None:
+            slot = len(integrals)
+            integral_index[reg] = slot
+            integrals.append(reg)
+        return slot
+
+    plan_slots: list[tuple] = []
+    for plan in skeleton.plans:
+        children = plan.children
+
+        def emit_var(var: int) -> int | None:
+            combined: int | None = None
+            for rel, ei in children[var]:
+                msg = emit_rel(rel, ei)
+                combined = msg if combined is None else body_op(("mul", combined, msg))
+            return combined
+
+        def emit_rel(rel: int, parent_edge: int) -> int:
+            result = -(delta(parent_edge) + 1)
+            for var, ei in children[rel]:
+                msg = emit_var(var)
+                if msg is None:
+                    continue
+                inner = -(comp(ei, parent_edge) + 1)
+                result = body_op(("mul", result, body_op(("cw", msg, inner))))
+            return result
+
+        slots: list[tuple[str, int]] = []
+        for root in plan.roots:
+            kids = children[root]
+            if not kids:
+                slots.append(("card", root))
+                continue
+            weight = body_op(("const", root, tuple(ei for _, ei in kids)))
+            for var, ei in kids:
+                msg = emit_var(var)
+                if msg is None:
+                    continue
+                composed = body_op(("cw", msg, -(inv(ei) + 1)))
+                weight = body_op(("mul", weight, composed))
+            slots.append(("slot", integral_slot(weight)))
+        plan_slots.append(tuple(slots))
+
+    # Dependency level of every body op (preamble refs are level -1): ops
+    # at one level are mutually independent, so same-kind ops at a level
+    # share a single kernel call.
+    levels: list[int] = []
+    for op in body_ops:
+        if op[0] == "const":
+            levels.append(0)
+        else:
+            operands = (op[1], op[2])
+            levels.append(
+                max((levels[ref] for ref in operands if ref >= 0), default=-1) + 1
+            )
+    num_levels = max(levels) + 1 if levels else 0
+    schedule: list[dict[str, tuple[int, ...]]] = [dict() for _ in range(num_levels)]
+    for idx, (op, level) in enumerate(zip(body_ops, levels)):
+        schedule[level].setdefault(op[0], [])
+        schedule[level][op[0]].append(idx)  # type: ignore[attr-defined]
+    schedule_t = tuple(
+        {kind: tuple(idxs) for kind, idxs in lvl.items()} for lvl in schedule
+    )
+
+    program = ArrayProgram(
+        tuple(pre_ops), tuple(body_ops), tuple(integrals), tuple(plan_slots), schedule_t
+    )
+    object.__setattr__(skeleton, "_array_program", program)
+    return program
+
+
+# ----------------------------------------------------------------------
+# Program execution over a heterogeneous batch
+# ----------------------------------------------------------------------
+class _GroupState:
+    """Execution state of one skeleton's program over its deduped rows."""
+
+    __slots__ = (
+        "program",
+        "row_items",
+        "item_rows",
+        "edge_packs",
+        "totals",
+        "cards",
+        "pre_vals",
+        "body_vals",
+        "slot_vals",
+    )
+
+    def __init__(self, skeleton, item_indices, items) -> None:
+        self.program = compile_array_program(skeleton)
+        # Rows are deduplicated (edge CDS identity, cardinalities) query
+        # instantiations: repeated queries — the common case for a serving
+        # micro-batch — evaluate once and fan back out.
+        row_of: dict[tuple, int] = {}
+        self.row_items: list[int] = []
+        self.item_rows: list[tuple[int, int]] = []
+        row_edge_funcs = []
+        row_cards = []
+        for idx in item_indices:
+            _, edge_funcs, cards = items[idx]
+            key = (tuple(id(f) for f in edge_funcs), tuple(cards))
+            row = row_of.get(key)
+            if row is None:
+                row = len(row_edge_funcs)
+                row_of[key] = row
+                row_edge_funcs.append(edge_funcs)
+                row_cards.append(cards)
+            self.item_rows.append((idx, row))
+        num_edges = len(row_edge_funcs[0]) if row_edge_funcs else 0
+        self.edge_packs = [
+            Ragged.from_functions([funcs[e] for funcs in row_edge_funcs])
+            for e in range(num_edges)
+        ]
+        # Conditioned totals (cds.total == ys[-1]) drive root cardinalities.
+        self.totals = [_lasts(p.ys, p.offsets) for p in self.edge_packs]
+        self.cards = np.array(row_cards, dtype=float)
+        self.pre_vals: list[Ragged | None] = [None] * len(self.program.pre_ops)
+        self.body_vals: list[Ragged | None] = [None] * len(self.program.body_ops)
+        self.slot_vals: list[np.ndarray | None] = [None] * len(self.program.integrals)
+
+    @property
+    def rows(self) -> int:
+        return len(self.cards)
+
+    def resolve(self, ref: int) -> Ragged:
+        return self.pre_vals[-ref - 1] if ref < 0 else self.body_vals[ref]
+
+
+def _concat_ragged(parts: list[Ragged]) -> Ragged:
+    if len(parts) == 1:
+        return parts[0]
+    lengths = np.concatenate([p.lengths() for p in parts])
+    xs = np.concatenate([p.xs for p in parts])
+    ys = np.concatenate([p.ys for p in parts])
+    return Ragged(xs, ys, _offsets_from_lengths(lengths))
+
+
+def _split_ragged(r: Ragged, counts: list[int]) -> list[Ragged]:
+    if len(counts) == 1:
+        return [r]
+    out = []
+    seg = 0
+    for c in counts:
+        off = r.offsets[seg : seg + c + 1]
+        base = off[0]
+        out.append(Ragged(r.xs[base : off[-1]], r.ys[base : off[-1]], off - base))
+        seg += c
+    return out
+
+
+def evaluate_bounds(items: list[tuple]) -> np.ndarray:
+    """Bounds for a heterogeneous batch via the array-program engine.
+
+    ``items`` holds ``(skeleton, edge_cds, cards)`` per query: the compiled
+    skeleton, the chosen conditioned CDS per skeleton edge, and the
+    single-table cardinality per alias (in ``skeleton.aliases`` order).
+    Ops of the same kind across every query, plan and skeleton execute as
+    shared segmented kernel calls.
+    """
+    results = np.zeros(len(items))
+    if not items:
+        return results
+    by_skeleton: dict[int, list[int]] = {}
+    skeletons: dict[int, object] = {}
+    for i, (skeleton, _, _) in enumerate(items):
+        by_skeleton.setdefault(id(skeleton), []).append(i)
+        skeletons[id(skeleton)] = skeleton
+    groups = [
+        _GroupState(skeletons[key], idxs, items) for key, idxs in by_skeleton.items()
+    ]
+
+    # Preamble: plan-independent per-edge values, two dependency levels.
+    for kinds in (("inv", "delta"), ("comp",)):
+        jobs: dict[str, list[tuple]] = {k: [] for k in kinds}
+        for g in groups:
+            for reg, op in enumerate(g.program.pre_ops):
+                if op[0] in jobs:
+                    jobs[op[0]].append((g, reg, op))
+        for kind, entries in jobs.items():
+            if not entries:
+                continue
+            if kind == "comp":
+                outer = _concat_ragged([g.pre_vals[op[1]] for g, _, op in entries])
+                inner = _concat_ragged([g.edge_packs[op[2]] for g, _, op in entries])
+                chunks = _split_ragged(
+                    batch_compose(outer, inner), [g.rows for g, _, _ in entries]
+                )
+            else:
+                big = _concat_ragged([g.edge_packs[op[1]] for g, _, op in entries])
+                kernel = batch_inverse if kind == "inv" else batch_delta
+                chunks = _split_ragged(kernel(big), [g.rows for g, _, _ in entries])
+            for (g, reg, _), chunk in zip(entries, chunks):
+                g.pre_vals[reg] = chunk
+
+    # Body: dependency-level schedule — every independent same-kind op
+    # across all plans and skeletons shares one kernel call per level.
+    max_levels = max((len(g.program.schedule) for g in groups), default=0)
+    for level in range(max_levels):
+        for kind in ("const", "cw", "mul"):
+            jobs: list[tuple[_GroupState, int]] = []
+            for g in groups:
+                if level < len(g.program.schedule):
+                    for idx in g.program.schedule[level].get(kind, ()):
+                        jobs.append((g, idx))
+            if not jobs:
+                continue
+            if kind == "const":
+                ends = []
+                for g, idx in jobs:
+                    _, root, kid_edges = g.program.body_ops[idx]
+                    e = g.cards[:, root].copy()
+                    for ei in kid_edges:
+                        e = np.minimum(e, g.totals[ei])
+                    ends.append(e)
+                result = batch_constant(np.concatenate(ends))
+            else:
+                a = _concat_ragged([g.resolve(g.program.body_ops[idx][1]) for g, idx in jobs])
+                b = _concat_ragged([g.resolve(g.program.body_ops[idx][2]) for g, idx in jobs])
+                kernel = batch_compose_with if kind == "cw" else batch_multiply
+                result = kernel(a, b)
+            for (g, idx), chunk in zip(jobs, _split_ragged(result, [g.rows for g, _ in jobs])):
+                g.body_vals[idx] = chunk
+
+    # Integrals: every (group, slot) in one reduceat pass.
+    jobs = [(g, slot, reg) for g in groups for slot, reg in enumerate(g.program.integrals)]
+    if jobs:
+        big = _concat_ragged([g.resolve(reg) for g, _, reg in jobs])
+        sums = batch_integral(big)
+        pos = 0
+        for g, slot, _ in jobs:
+            g.slot_vals[slot] = sums[pos : pos + g.rows]
+            pos += g.rows
+
+    # Scalar finish: product over roots (with the object path's
+    # break-on-zero semantics) and minimum over plans, per row.
+    for g in groups:
+        best = np.full(g.rows, np.inf)
+        for slots in g.program.plan_slots:
+            total = np.ones(g.rows)
+            for kind, ref in slots:
+                value = g.cards[:, ref] if kind == "card" else g.slot_vals[ref]
+                total = np.where(total == 0.0, 0.0, total * value)
+            best = np.where(total < best, total, best)
+        for idx, row in g.item_rows:
+            results[idx] = best[row]
+    return results

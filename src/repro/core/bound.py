@@ -34,6 +34,7 @@ import networkx as nx
 import numpy as np
 
 from ..db.query import Query
+from .arraykernel import evaluate_bounds
 from .cache import LRUCache
 from .piecewise import PiecewiseConstant, PiecewiseLinear
 
@@ -202,12 +203,36 @@ class FdsbEngine:
         queries; the bound is the minimum over the trees seen.
     skeleton_cache_size:
         Capacity of the LRU cache of compiled query skeletons.
+    eval_kernel:
+        ``"array"`` evaluates batches through the vectorized array-program
+        engine (``core.arraykernel``); ``"object"`` keeps the per-object
+        piecewise recursion.  The two are bit-identical (enforced by
+        tests/test_array_kernel.py) — the object path is the differential
+        oracle, the array path the serving default.
     """
 
+    EVAL_KERNELS = ("object", "array")
+    # Minimum batch "work" (sum over items of plans x edges) for the array
+    # kernel to pay off: below it, per-batch fixed costs (packing, program
+    # setup, kernel-call scheduling) outweigh the vectorization win — the
+    # optimizer DP's per-level batches of small acyclic subqueries are the
+    # common case.  Measured crossover on JOB-Light planner traffic (object
+    # wins <= ~32, tie ~48) and stats-CEB cyclic planner traffic (array
+    # wins by 2x at >= 64).  Both kernels are bit-identical, so dispatch
+    # only affects latency, never the bounds.
+    ARRAY_MIN_WORK = 64
+
     def __init__(
-        self, max_spanning_trees: int = 64, skeleton_cache_size: int = 4096
+        self,
+        max_spanning_trees: int = 64,
+        skeleton_cache_size: int = 4096,
+        eval_kernel: str = "array",
     ) -> None:
+        if eval_kernel not in self.EVAL_KERNELS:
+            raise ValueError(f"eval_kernel must be one of {self.EVAL_KERNELS}")
         self.max_spanning_trees = max_spanning_trees
+        self.eval_kernel = eval_kernel
+        self.array_min_work = self.ARRAY_MIN_WORK
         self._skeletons = LRUCache(skeleton_cache_size)
 
     # ------------------------------------------------------------------
@@ -245,14 +270,7 @@ class FdsbEngine:
     ) -> float:
         """Upper bound for a query of ``skeleton``'s shape with the given
         predicate instantiation."""
-        edge_cds: list[PiecewiseLinear] = []
-        for edge in skeleton.edges:
-            best = column_cds[(edge.alias, edge.columns[0])]
-            for column in edge.columns[1:]:
-                candidate = column_cds[(edge.alias, column)]
-                if candidate.total < best.total:
-                    best = candidate
-            edge_cds.append(best)
+        edge_cds = self._select_edge_cds(skeleton, column_cds)
         cards = [
             float(alias_cardinality.get(alias, np.inf)) for alias in skeleton.aliases
         ]
@@ -265,6 +283,71 @@ class FdsbEngine:
                     break
             best_bound = min(best_bound, total)
         return float(best_bound)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _select_edge_cds(
+        skeleton: CompiledSkeleton,
+        column_cds: dict[tuple[str, str], PiecewiseLinear],
+    ) -> list[PiecewiseLinear]:
+        """Pick the CDS per skeleton edge: for multi-column incidences, the
+        candidate with the smaller conditioned total (Sec 3.6, method 2)."""
+        edge_cds: list[PiecewiseLinear] = []
+        for edge in skeleton.edges:
+            best = column_cds[(edge.alias, edge.columns[0])]
+            for column in edge.columns[1:]:
+                candidate = column_cds[(edge.alias, column)]
+                if candidate.total < best.total:
+                    best = candidate
+            edge_cds.append(best)
+        return edge_cds
+
+    def bound_batch_compiled(
+        self,
+        items: list[
+            tuple[
+                CompiledSkeleton,
+                dict[tuple[str, str], PiecewiseLinear],
+                dict[str, float],
+            ]
+        ],
+    ) -> list[float]:
+        """Upper bounds for a heterogeneous batch of compiled queries.
+
+        Each item is ``(skeleton, column_cds, alias_cardinality)`` as for
+        :meth:`bound_compiled`.  With ``eval_kernel="array"`` the whole
+        batch — every query, spanning-tree plan and skeleton — is lowered
+        into one array program and evaluated in shared segmented kernel
+        calls; identical query instantiations (same conditioned CDSs and
+        cardinalities, the common case for a serving micro-batch) are
+        deduplicated.  With ``eval_kernel="object"`` each item runs the
+        per-object recursion.  Both kernels return bit-identical bounds.
+
+        Dispatch is cost-based: batches below ``array_min_work`` (sum of
+        plans x edges — planner-DP-sized traffic) stay on the object path,
+        whose per-call overhead is lower; set ``array_min_work = 0`` to
+        force the array engine.
+        """
+        if self.eval_kernel == "array" and (
+            sum(
+                len(skeleton.plans) * max(len(skeleton.edges), 1)
+                for skeleton, _, _ in items
+            )
+            >= self.array_min_work
+        ):
+            prepared = [
+                (
+                    skeleton,
+                    self._select_edge_cds(skeleton, column_cds),
+                    [float(cards.get(a, np.inf)) for a in skeleton.aliases],
+                )
+                for skeleton, column_cds, cards in items
+            ]
+            return [float(b) for b in evaluate_bounds(prepared)]
+        return [
+            self.bound_compiled(skeleton, column_cds, cards)
+            for skeleton, column_cds, cards in items
+        ]
 
     # ------------------------------------------------------------------
     def _count_at_root(

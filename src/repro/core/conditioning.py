@@ -39,6 +39,7 @@ from .updates import IncrementalColumnStats, pad_cds
 
 __all__ = [
     "ConditioningConfig",
+    "ConditionedRelation",
     "EqualityStats",
     "HistogramStats",
     "TrigramStats",
@@ -606,6 +607,54 @@ class JoinColumnStats:
 
     def num_sequences(self) -> int:
         return 1 + sum(f.num_sequences() for f in self.filters.values())
+
+
+class ConditionedRelation:
+    """Conditioning result of one (table, effective predicate) pair.
+
+    Holds the conditioned CDS of every declared join column, the implied
+    single-table bound, and — lazily, per requested column — the CDS
+    truncated at that bound (including the undeclared-column fallback of
+    Sec 3.6).  Shared through SafeBound's conditioning cache, so the
+    truncation is paid once per pair rather than once per subquery, and
+    both bound kernels (the per-object recursion and the batched array
+    program) consume the *same* conditioned CDS objects — which is what
+    makes their bounds bit-identical and lets the array engine deduplicate
+    repeated query instantiations by CDS identity.
+    """
+
+    __slots__ = ("single_table", "_rel", "_conditioned", "_bound_cds")
+
+    def __init__(self, rel, predicate: Predicate | None) -> None:
+        self._rel = rel
+        # Single-table bound: the min conditioned total over declared join
+        # columns (they all count the same filtered rows).
+        single_table = float(rel.cardinality)
+        conditioned: dict[str, PiecewiseLinear] = {}
+        for jcol, jstats in rel.join_stats.items():
+            cds = jstats.condition(predicate)
+            conditioned[jcol] = cds
+            single_table = min(single_table, cds.total)
+        self.single_table = single_table
+        self._conditioned = conditioned
+        self._bound_cds: dict[str, PiecewiseLinear] = {}
+
+    def cds_for(self, column: str) -> PiecewiseLinear:
+        cds = self._bound_cds.get(column)
+        if cds is None:
+            base = self._conditioned.get(column)
+            if base is None:
+                # Undeclared join column (Sec 3.6): truncate its
+                # unconditioned CDS (padded for any pending inserts) to
+                # the single-table bound.
+                base = self._rel.padded_fallback(column)
+            if base is None:
+                base = PiecewiseLinear.from_breakpoints(
+                    [(0.0, 0.0), (1.0, float(self._rel.cardinality))]
+                )
+            cds = base.truncate_total(self.single_table)
+            self._bound_cds[column] = cds
+        return cds
 
 
 # ----------------------------------------------------------------------

@@ -36,6 +36,70 @@ __all__ = [
 _EPS = 1e-9
 
 
+def _interp_core(
+    x: np.ndarray,
+    x0: np.ndarray,
+    x1: np.ndarray,
+    y0: np.ndarray,
+    y1: np.ndarray,
+    lo_x,
+    lo_y,
+    hi_x,
+    hi_y,
+) -> np.ndarray:
+    """Linear interpolation between gathered bracketing breakpoints.
+
+    This is the single source of truth for evaluating a piecewise-linear
+    function: both the per-object path (:meth:`PiecewiseLinear.__call__`)
+    and the batched array kernel (``core.arraykernel``) feed it the same
+    gathered operands, so the two kernels produce bit-identical floats.
+    Outside ``[lo_x, hi_x]`` the function clamps to the endpoint values.
+    """
+    dx = x1 - x0
+    slope = (y1 - y0) / np.where(dx > 0, dx, 1.0)
+    out = y0 + slope * (x - x0)
+    out = np.where(x <= lo_x, lo_y, out)
+    out = np.where(x >= hi_x, hi_y, out)
+    return out
+
+
+def _pseudo_inverse_core(
+    values: np.ndarray,
+    x0: np.ndarray,
+    x1: np.ndarray,
+    y0: np.ndarray,
+    y1: np.ndarray,
+    first_x,
+    first_y,
+    last_x,
+    last_y,
+) -> np.ndarray:
+    """Shared arithmetic of the pseudo-inverse ``F^{-1}(v)`` given gathered
+    bracketing breakpoints (see :meth:`PiecewiseLinear.inverse_values`).
+    Used verbatim by the array kernel for bit-identical batched inversion.
+    """
+    dy = y1 - y0
+    frac = np.where(dy > _EPS, (values - y0) / np.where(dy > _EPS, dy, 1.0), 0.0)
+    frac = np.clip(frac, 0.0, 1.0)
+    out = x0 + frac * (x1 - x0)
+    out = np.where(values <= first_y + _EPS, first_x, out)
+    out = np.where(values > last_y, last_x, out)
+    return out
+
+
+def _sequential_sum(values: np.ndarray) -> float:
+    """Strict left-to-right summation (``np.add.reduceat``).
+
+    ``np.dot``/``np.sum`` may reassociate (BLAS, pairwise summation), which
+    would make a segmented batch sum differ from the per-object sum in the
+    last ulp.  ``reduceat`` reduces sequentially, and the array kernel uses
+    the same ufunc for its per-segment sums, so integrals agree bitwise.
+    """
+    if not len(values):
+        return 0.0
+    return float(np.add.reduceat(values, np.array([0], dtype=np.intp))[0])
+
+
 def _dedupe_breakpoints(xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Drop zero-width segments produced by floating-point noise."""
     if len(xs) <= 1:
@@ -128,11 +192,15 @@ class PiecewiseConstant:
         """Total mass: sum of ``value * width`` over all segments.
 
         For a degree sequence this is the cardinality of the relation.
+
+        Summed strictly left to right (never ``np.dot``): the batched array
+        kernel integrates whole batches with segmented ``reduceat`` sums,
+        and both kernels must agree bitwise.
         """
         if not len(self.xs):
             return 0.0
         widths = np.diff(np.concatenate(([0.0], self.xs)))
-        return float(np.dot(widths, self.ys))
+        return _sequential_sum(widths * self.ys)
 
     def is_nonincreasing(self, tol: float = 1e-6) -> bool:
         """True when the step values never increase (valid degree sequence)."""
@@ -217,7 +285,7 @@ class PiecewiseConstant:
         if not len(edges) or edges[-1] < inner_end - _EPS:
             edges = np.concatenate((edges, [inner_end]))
         mids = (np.concatenate(([0.0], edges[:-1])) + edges) / 2.0
-        inner_vals = np.interp(mids, inner.xs, inner.ys)
+        inner_vals = inner(mids)
         idx = np.minimum(
             np.searchsorted(self.xs, inner_vals, side="left"), len(self.ys) - 1
         )
@@ -281,7 +349,15 @@ class PiecewiseLinear:
 
     def __call__(self, x):
         x_arr = np.asarray(x, dtype=float)
-        out = np.interp(x_arr, self.xs, self.ys)
+        xs, ys = self.xs, self.ys
+        if len(xs) > 1:
+            i1 = np.clip(np.searchsorted(xs, x_arr, side="right"), 1, len(xs) - 1)
+            i0 = i1 - 1
+        else:
+            i1 = i0 = np.zeros_like(x_arr, dtype=np.intp)
+        out = _interp_core(
+            x_arr, xs[i0], xs[i1], ys[i0], ys[i1], xs[0], ys[0], xs[-1], ys[-1]
+        )
         return float(out) if np.isscalar(x) else out
 
     def is_nondecreasing(self, tol: float = 1e-6) -> bool:
@@ -329,21 +405,13 @@ class PiecewiseLinear:
         the domain end; values below the start clamp to the start.
         """
         values = np.asarray(values, dtype=float)
-        # np.interp on the swapped coordinates implements the pseudo-inverse
-        # for strictly increasing ys; flats need the "leftmost" convention.
         ys = self.ys
         xs = self.xs
         idx = np.searchsorted(ys, values, side="left")
         idx = np.clip(idx, 1, len(ys) - 1)
-        y0, y1 = ys[idx - 1], ys[idx]
-        x0, x1 = xs[idx - 1], xs[idx]
-        dy = y1 - y0
-        frac = np.where(dy > _EPS, (values - y0) / np.where(dy > _EPS, dy, 1.0), 0.0)
-        frac = np.clip(frac, 0.0, 1.0)
-        out = x0 + frac * (x1 - x0)
-        out = np.where(values <= ys[0] + _EPS, xs[0], out)
-        out = np.where(values > ys[-1], xs[-1], out)
-        return out
+        return _pseudo_inverse_core(
+            values, xs[idx - 1], xs[idx], ys[idx - 1], ys[idx], xs[0], ys[0], xs[-1], ys[-1]
+        )
 
     def inverse(self) -> "PiecewiseLinear":
         """The pseudo-inverse as a piecewise-linear function of the value.

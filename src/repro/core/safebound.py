@@ -13,10 +13,10 @@ from ..db.database import Database
 from ..db.query import Query
 from .bound import CompiledSkeleton, FdsbEngine
 from .cache import LRUCache
-from .conditioning import ConditioningConfig
-from .piecewise import PiecewiseLinear, pointwise_min
+from .conditioning import ConditionedRelation, ConditioningConfig
+from .piecewise import PiecewiseLinear
 from .predicates import And, Eq, InList, Like, Or, Predicate, Range
-from .stats_builder import RelationStats, SafeBoundStats, build_statistics
+from .stats_builder import SafeBoundStats, build_statistics
 
 __all__ = ["SafeBound", "SafeBoundConfig"]
 
@@ -29,6 +29,12 @@ class SafeBoundConfig:
     precompute_pk_joins: bool = True
     build_trigrams: bool = True
     max_spanning_trees: int = 64
+    # Online bound-evaluation kernel: "array" lowers every batch into the
+    # vectorized array-program engine (core/arraykernel.py); "object" runs
+    # the per-object piecewise recursion.  Bit-identical (enforced by the
+    # differential suite in tests/test_array_kernel.py); "object" is kept
+    # as the oracle and for debugging.
+    eval_kernel: str = "array"
     # Online-phase cache capacities (LRU-evicted).
     conditioning_cache_entries: int = 50_000
     skeleton_cache_entries: int = 4096
@@ -91,50 +97,6 @@ def _rewrite_predicate(
     return None
 
 
-class _ConditionedRelation:
-    """Conditioning result of one (table, effective predicate) pair.
-
-    Holds the conditioned CDS of every declared join column, the implied
-    single-table bound, and — lazily, per requested column — the CDS
-    truncated at that bound (including the undeclared-column fallback of
-    Sec 3.6).  Shared through the conditioning cache, so the truncation is
-    paid once per pair rather than once per subquery.
-    """
-
-    __slots__ = ("single_table", "_rel", "_conditioned", "_bound_cds")
-
-    def __init__(self, rel: RelationStats, predicate: Predicate | None) -> None:
-        self._rel = rel
-        # Single-table bound: the min conditioned total over declared join
-        # columns (they all count the same filtered rows).
-        single_table = float(rel.cardinality)
-        conditioned: dict[str, PiecewiseLinear] = {}
-        for jcol, jstats in rel.join_stats.items():
-            cds = jstats.condition(predicate)
-            conditioned[jcol] = cds
-            single_table = min(single_table, cds.total)
-        self.single_table = single_table
-        self._conditioned = conditioned
-        self._bound_cds: dict[str, PiecewiseLinear] = {}
-
-    def cds_for(self, column: str) -> PiecewiseLinear:
-        cds = self._bound_cds.get(column)
-        if cds is None:
-            base = self._conditioned.get(column)
-            if base is None:
-                # Undeclared join column (Sec 3.6): truncate its
-                # unconditioned CDS (padded for any pending inserts) to
-                # the single-table bound.
-                base = self._rel.padded_fallback(column)
-            if base is None:
-                base = PiecewiseLinear.from_breakpoints(
-                    [(0.0, 0.0), (1.0, float(self._rel.cardinality))]
-                )
-            cds = base.truncate_total(self.single_table)
-            self._bound_cds[column] = cds
-        return cds
-
-
 class SafeBound:
     """The first practical system for generating cardinality bounds."""
 
@@ -145,9 +107,11 @@ class SafeBound:
         self.stats: SafeBoundStats | None = None
         self._db: Database | None = None
         self._engine = FdsbEngine(
-            self.config.max_spanning_trees, self.config.skeleton_cache_entries
+            self.config.max_spanning_trees,
+            self.config.skeleton_cache_entries,
+            eval_kernel=self.config.eval_kernel,
         )
-        # (epoch, table, repr(effective predicate)) -> _ConditionedRelation.
+        # (epoch, table, repr(effective predicate)) -> ConditionedRelation.
         # The optimizer's DP estimates every connected subquery, and aliases
         # repeat across subsets with the same predicate, so this cache
         # carries most of the planning speed.  The epoch counter advances on
@@ -267,29 +231,37 @@ class SafeBound:
         """A guaranteed upper bound on the query's output cardinality."""
         if self.stats is None:
             raise RuntimeError("SafeBound.build(db) must run before bound()")
-        return self._bound_compiled(query, self._engine.compile(query))
+        return self.bound_batch([query])[0]
 
     def bound_batch(self, queries: list[Query]) -> list[float]:
-        """Upper bounds for several queries, grouped by query shape.
+        """Upper bounds for several queries in one engine call.
 
         Queries sharing a skeleton (the optimizer DP's repeated subquery
         shapes, or one template's predicate instantiations) are bounded
         against one compiled skeleton, and their conditioning/truncation
-        work flows through the shared caches.
+        work flows through the shared caches.  The whole batch — across
+        skeletons — is then handed to the engine at once, which the array
+        kernel turns into shared vectorized kernel calls.
         """
         if self.stats is None:
             raise RuntimeError("SafeBound.build(db) must run before bound_batch()")
-        results = [0.0] * len(queries)
-        groups: dict[tuple, list[int]] = {}
-        for i, query in enumerate(queries):
-            groups.setdefault(query.skeleton_key(), []).append(i)
-        for indices in groups.values():
-            skeleton = self._engine.compile(queries[indices[0]])
-            for i in indices:
-                results[i] = self._bound_compiled(queries[i], skeleton)
-        return results
+        skeletons: dict[tuple, CompiledSkeleton] = {}
+        items = []
+        for query in queries:
+            key = query.skeleton_key()
+            skeleton = skeletons.get(key)
+            if skeleton is None:
+                skeleton = self._engine.compile(query)
+                skeletons[key] = skeleton
+            column_cds, alias_cardinality = self._query_inputs(query)
+            items.append((skeleton, column_cds, alias_cardinality))
+        return self._engine.bound_batch_compiled(items)
 
-    def _bound_compiled(self, query: Query, skeleton: CompiledSkeleton) -> float:
+    def _query_inputs(
+        self, query: Query
+    ) -> tuple[dict[tuple[str, str], PiecewiseLinear], dict[str, float]]:
+        """Conditioned CDSs and single-table bounds for one query, served
+        from the (epoch-keyed) conditioning cache."""
         effective = self._effective_predicates(query)
         column_cds: dict[tuple[str, str], PiecewiseLinear] = {}
         alias_cardinality: dict[str, float] = {}
@@ -298,15 +270,15 @@ class SafeBound:
             alias_cardinality[alias] = conditioned.single_table
             for col in query.join_columns_of(alias):
                 column_cds[(alias, col)] = conditioned.cds_for(col)
-        return self._engine.bound_compiled(skeleton, column_cds, alias_cardinality)
+        return column_cds, alias_cardinality
 
     def _conditioned_relation(
         self, tname: str, predicate: Predicate | None
-    ) -> _ConditionedRelation:
+    ) -> ConditionedRelation:
         cache_key = (self._stats_epoch, tname, repr(predicate))
         cached = self._conditioning_cache.get(cache_key)
         if cached is None:
-            cached = _ConditionedRelation(self.stats.relations[tname], predicate)
+            cached = ConditionedRelation(self.stats.relations[tname], predicate)
             self._conditioning_cache[cache_key] = cached
         return cached
 

@@ -97,6 +97,9 @@ class SuiteConfig:
     build_workers: int = 0
     build_shard_rows: int | None = None
     build_pool: str = "thread"
+    # Online bound-evaluation kernel ("array" | "object"); bit-identical,
+    # so results never depend on it either — only planning wall-clock does.
+    eval_kernel: str = "array"
 
 
 def default_estimators(
@@ -105,6 +108,7 @@ def default_estimators(
     build_workers: int = 0,
     build_shard_rows: int | None = None,
     build_pool: str = "thread",
+    eval_kernel: str = "array",
 ) -> dict:
     """Factories for every compared system.
 
@@ -124,6 +128,7 @@ def default_estimators(
                 build_workers=build_workers,
                 build_shard_rows=build_shard_rows,
                 build_pool=build_pool,
+                eval_kernel=eval_kernel,
             )
         )
 
@@ -168,6 +173,7 @@ def run_end_to_end(
         build_workers=config.build_workers,
         build_shard_rows=config.build_shard_rows,
         build_pool=config.build_pool,
+        eval_kernel=config.eval_kernel,
     )
     return run_suite(workloads, factories, indexes_enabled=indexes_enabled)
 

@@ -97,6 +97,11 @@ def main(argv: list[str] | None = None) -> int:
         help="insert/delete rounds streamed through live ingest during the run",
     )
     parser.add_argument("--catalog", default=None, help="catalog root (default: temp dir)")
+    parser.add_argument(
+        "--eval-kernel", choices=("array", "object"), default="array",
+        help="bound-evaluation kernel (bit-identical; 'array' batches the "
+        "piecewise algebra into vectorized kernels)",
+    )
     args = parser.parse_args(argv)
 
     db = build_demo_database()
@@ -110,7 +115,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         catalog = StatsCatalog(root)
         estimator = CatalogBackedSafeBound(
-            catalog, "demo", SafeBoundConfig(track_updates=True)
+            catalog, "demo",
+            SafeBoundConfig(track_updates=True, eval_kernel=args.eval_kernel),
         )
         estimator.build(db)
         published = catalog.latest("demo")
@@ -149,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
             if worker is not None:
                 worker.stop()
         report.pop("results")
+        report["eval_kernel"] = args.eval_kernel
         report["catalog_versions"] = [v.label for v in catalog.versions("demo")]
         report["served_version"] = estimator.version
         report["staleness"] = round(estimator.staleness(), 4)

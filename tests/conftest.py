@@ -1,8 +1,19 @@
-"""Shared fixtures: small seeded databases reused across test modules."""
+"""Shared fixtures: small seeded databases reused across test modules.
+
+Also hosts the deterministic test-order shuffle: inter-test state leaks
+(warm conditioning / skeleton LRU caches, module-level memoisation) hide
+when tests always run in file order.  CI installs ``pytest-randomly`` with
+a fixed seed; when it is absent (this repo's hermetic container), a
+built-in fallback shuffles collection the same hierarchical way —
+modules, then classes within a module, then tests within a class — from
+the seed in ``REPRO_TEST_SHUFFLE_SEED`` (default 20260726, ``off``
+disables).  Either way the order is deterministic, so failures replay.
+"""
 
 from __future__ import annotations
 
 import os
+import random
 
 import numpy as np
 import pytest
@@ -12,6 +23,45 @@ from hypothesis import settings as hypothesis_settings
 from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.db.table import Table
+
+try:  # pragma: no cover - exercised only where the plugin is installed
+    import pytest_randomly  # noqa: F401
+
+    _HAVE_PYTEST_RANDOMLY = True
+except ImportError:
+    _HAVE_PYTEST_RANDOMLY = False
+
+
+def pytest_collection_modifyitems(config, items):
+    """Fallback hierarchical shuffle when pytest-randomly is unavailable."""
+    if _HAVE_PYTEST_RANDOMLY:
+        return  # the plugin already reorders with its own --randomly-seed
+    seed_env = os.environ.get("REPRO_TEST_SHUFFLE_SEED", "20260726")
+    if seed_env.lower() in ("off", "0", ""):
+        return
+    try:
+        seed: int | str = int(seed_env)
+    except ValueError:
+        seed = seed_env  # any string seeds random.Random deterministically
+    rng = random.Random(seed)
+    # Group by module, then by class, preserving grouping so module- and
+    # class-scoped fixtures are built once each (as pytest-randomly does).
+    modules: dict[object, dict[object, list]] = {}
+    for item in items:
+        module = getattr(item, "module", None)
+        cls = getattr(item, "cls", None)
+        modules.setdefault(module, {}).setdefault(cls, []).append(item)
+    module_keys = list(modules)
+    rng.shuffle(module_keys)
+    reordered = []
+    for mk in module_keys:
+        class_keys = list(modules[mk])
+        rng.shuffle(class_keys)
+        for ck in class_keys:
+            bucket = modules[mk][ck]
+            rng.shuffle(bucket)
+            reordered.extend(bucket)
+    items[:] = reordered
 
 # Hypothesis profiles: "ci" is fully deterministic (derandomized, i.e. a
 # fixed seed derived from each test) so CI failures always reproduce;

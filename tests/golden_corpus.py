@@ -1,0 +1,89 @@
+"""Golden-bound corpus definition shared by the gate test and the
+regeneration script.
+
+Each corpus entry deterministically generates a small workload (fixed
+seeds, fixed scales), builds SafeBound statistics with the default
+configuration, and records every query's bound as an exact ``float.hex``
+string plus a SHA-256 digest over the whole mapping.  The committed JSON
+files under ``tests/golden/`` pin the served bounds: any PR that shifts a
+bound — compression, conditioning, kernel or engine change — must
+regenerate the corpus *deliberately*:
+
+    PYTHONPATH=src python tests/make_golden_bounds.py
+
+and justify the diff in review.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def corpus_workloads():
+    """name -> freshly generated Workload, deterministic across runs."""
+    from repro.workloads import (
+        make_imdb,
+        make_job_light,
+        make_job_light_ranges,
+        make_stats_ceb,
+        make_tpch,
+    )
+
+    imdb = make_imdb(scale=0.05, seed=3)
+    return {
+        "stats_ceb": make_stats_ceb(scale=0.05, num_queries=30, seed=7),
+        "job_light": make_job_light(db=imdb, num_queries=20, seed=3),
+        "job_light_ranges": make_job_light_ranges(db=imdb, num_queries=20, seed=3),
+        "tpch": make_tpch(scale_factor=0.02, num_queries=15, seed=9),
+    }
+
+
+def compute_bounds(workloads=None) -> dict[str, dict[str, str]]:
+    """name -> {query_name: float.hex bound} with default SafeBound config.
+
+    Databases shared between workloads (the JOB pair) build statistics
+    once, exactly as the harness does.
+    """
+    from repro.core.safebound import SafeBound, SafeBoundConfig
+
+    workloads = workloads or corpus_workloads()
+    built: dict[int, SafeBound] = {}
+    out: dict[str, dict[str, str]] = {}
+    for name, wl in workloads.items():
+        sb = built.get(id(wl.db))
+        if sb is None:
+            sb = SafeBound(SafeBoundConfig())
+            sb.build(wl.db)
+            built[id(wl.db)] = sb
+        bounds = sb.estimate_batch(wl.queries)
+        out[name] = {q.name: float(b).hex() for q, b in zip(wl.queries, bounds)}
+    return out
+
+
+def digest_bounds(bounds: dict[str, str]) -> str:
+    payload = "\n".join(f"{k}={v}" for k, v in sorted(bounds.items()))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"bounds_{name}.json"
+
+
+def write_corpus() -> list[Path]:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    paths = []
+    for name, bounds in compute_bounds().items():
+        doc = {
+            "workload": name,
+            "regenerate": "PYTHONPATH=src python tests/make_golden_bounds.py",
+            "digest": digest_bounds(bounds),
+            "bounds": bounds,
+        }
+        path = golden_path(name)
+        path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths

@@ -1,0 +1,20 @@
+"""Regenerate the golden-bound corpus under tests/golden/.
+
+    PYTHONPATH=src python tests/make_golden_bounds.py
+
+Run this only when a PR *intends* to change served bounds; commit the
+refreshed JSON together with an explanation of why the bounds moved.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from golden_corpus import write_corpus  # noqa: E402
+
+if __name__ == "__main__":
+    for path in write_corpus():
+        print(f"wrote {path}")

@@ -1,0 +1,312 @@
+"""Differential suite: the array kernel must be bit-identical to the
+object kernel.
+
+The vectorized array-program engine (core/arraykernel.py) re-implements
+the whole online bound path; its contract is *exact* float equality with
+the per-object piecewise recursion — not approximate agreement — so any
+reordering of floating-point operations is a bug this suite must catch.
+
+Three layers of coverage:
+
+* workload differential: ``estimate_batch`` under both kernels on
+  stats-CEB, JOB-light, JOB-light-ranges and TPC-H sample workloads
+  (shared statistics, exact equality per query);
+* the server path: an ``EstimationServer`` micro-batching an array-kernel
+  estimator returns exactly the object kernel's bounds;
+* op-level hypothesis differential: every batched kernel against its
+  object twin on generated piecewise inputs (breakpoint arrays compared
+  elementwise with ``==``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import arraykernel as ak
+from repro.core import piecewise as pw
+from repro.core.bound import FdsbEngine
+from repro.core.safebound import SafeBound, SafeBoundConfig
+from repro.service.server import EstimationServer
+from repro.workloads import (
+    make_job_light,
+    make_job_light_ranges,
+    make_stats_ceb,
+    make_tpch,
+)
+
+
+def exact_equal(obj_func, ragged: ak.Ragged, i: int) -> None:
+    """Assert segment ``i`` equals the object result, element for element."""
+    xs, ys = ragged.segment_arrays(i)
+    assert len(obj_func.xs) == len(xs)
+    assert np.array_equal(obj_func.xs, xs)
+    assert np.array_equal(obj_func.ys, ys)
+
+
+# ----------------------------------------------------------------------
+# Workload differential through estimate_batch and the server
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def workload_pairs(small_imdb, small_stats):
+    """(workload, array-kernel SafeBound, object-kernel SafeBound) per
+    bundled workload generator; statistics built once and shared, so the
+    two estimators differ *only* in the evaluation kernel."""
+    from repro.workloads import make_tpch_db
+
+    stats_wl = make_stats_ceb(db=small_stats, num_queries=30, seed=7)
+    jl = make_job_light(db=small_imdb, num_queries=20, seed=3)
+    jlr = make_job_light_ranges(db=small_imdb, num_queries=20, seed=3)
+    tpch = make_tpch(scale_factor=0.02, num_queries=15, seed=9)
+
+    pairs = {}
+    built: dict[int, SafeBound] = {}
+    for key, wl in (
+        ("STATS-CEB", stats_wl),
+        ("JOB-Light", jl),
+        ("JOB-LightRanges", jlr),
+        ("TPC-H", tpch),
+    ):
+        arr = built.get(id(wl.db))
+        if arr is None:
+            arr = SafeBound(SafeBoundConfig(eval_kernel="array"))
+            arr.build(wl.db)
+            # Disable the cost-based small-batch dispatch so every test
+            # below exercises the array engine, batch size notwithstanding.
+            arr._engine.array_min_work = 0
+            built[id(wl.db)] = arr
+        obj = SafeBound(SafeBoundConfig(eval_kernel="object"))
+        obj.stats = arr.stats  # the load()-style attach: same statistics
+        pairs[key] = (wl, arr, obj)
+    return pairs
+
+
+@pytest.mark.parametrize(
+    "name", ["STATS-CEB", "JOB-Light", "JOB-LightRanges", "TPC-H"]
+)
+class TestWorkloadDifferential:
+    def test_estimate_batch_bit_identical(self, workload_pairs, name):
+        wl, arr, obj = workload_pairs[name]
+        a = arr.estimate_batch(wl.queries)
+        o = obj.estimate_batch(wl.queries)
+        assert len(a) == len(wl.queries)
+        for qi, (ab, ob) in enumerate(zip(a, o)):
+            assert ab == ob, f"{name} query {wl.queries[qi].name}: {ab!r} != {ob!r}"
+
+    def test_single_bound_matches_batch(self, workload_pairs, name):
+        wl, arr, obj = workload_pairs[name]
+        batch = arr.estimate_batch(wl.queries[:5])
+        for q, b in zip(wl.queries[:5], batch):
+            assert arr.bound(q) == b == obj.bound(q)
+
+    def test_server_path_bit_identical(self, workload_pairs, name):
+        wl, arr, obj = workload_pairs[name]
+        expected = obj.estimate_batch(wl.queries)
+        with EstimationServer(arr, max_batch=8, max_wait_ms=1.0) as server:
+            futures = [server.submit(q) for q in wl.queries]
+            served = [f.result(30.0) for f in futures]
+        assert served == expected
+
+
+def test_shuffled_batch_order_invariant(workload_pairs):
+    """Batch composition must not leak between queries: a query's bound is
+    the same alone, in order, and in a shuffled mixed batch."""
+    wl, arr, obj = workload_pairs["STATS-CEB"]
+    base = arr.estimate_batch(wl.queries)
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(len(wl.queries))
+    shuffled = arr.estimate_batch([wl.queries[i] for i in perm])
+    for pos, qi in enumerate(perm):
+        assert shuffled[pos] == base[qi]
+
+
+def test_duplicate_queries_dedupe_to_same_bounds(workload_pairs):
+    wl, arr, obj = workload_pairs["JOB-Light"]
+    tripled = [q for q in wl.queries for _ in range(3)]
+    bounds = arr.estimate_batch(tripled)
+    expected = obj.estimate_batch(wl.queries)
+    for i, q in enumerate(wl.queries):
+        assert bounds[3 * i] == bounds[3 * i + 1] == bounds[3 * i + 2] == expected[i]
+
+
+def test_eval_kernel_validation():
+    with pytest.raises(ValueError):
+        FdsbEngine(eval_kernel="simd")
+
+
+# ----------------------------------------------------------------------
+# Op-level differential on hypothesis-generated piecewise inputs
+# ----------------------------------------------------------------------
+# Breakpoint coordinates: modest magnitudes, including awkward fractions;
+# strictly increasing xs come from cumulative positive steps.
+steps = st.floats(
+    min_value=1e-6, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+values = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def linear_cds(draw, max_points: int = 8):
+    """A valid nondecreasing CDS-like PiecewiseLinear starting at (0, 0)."""
+    n = draw(st.integers(min_value=1, max_value=max_points))
+    dx = draw(st.lists(steps, min_size=n, max_size=n))
+    dy = draw(st.lists(values, min_size=n, max_size=n))
+    xs = np.concatenate(([0.0], np.cumsum(dx)))
+    ys = np.concatenate(([0.0], np.cumsum(dy)))
+    return pw.PiecewiseLinear(xs, ys)
+
+
+@st.composite
+def linear_any(draw, max_points: int = 8):
+    """A valid (possibly non-monotone) PiecewiseLinear."""
+    n = draw(st.integers(min_value=1, max_value=max_points))
+    dx = draw(st.lists(steps, min_size=n - 1, max_size=n - 1)) if n > 1 else []
+    ys = draw(st.lists(values, min_size=n, max_size=n))
+    xs = np.concatenate(([0.0], np.cumsum(dx))) if n > 1 else np.array([0.0])
+    return pw.PiecewiseLinear(xs, np.array(ys))
+
+
+@st.composite
+def batches(draw, strategy, min_size=1, max_size=6):
+    return draw(st.lists(strategy, min_size=min_size, max_size=max_size))
+
+
+class TestOpDifferential:
+    @given(batches(linear_cds()))
+    def test_inverse(self, funcs):
+        r = ak.batch_inverse(ak.Ragged.from_functions(funcs))
+        for i, f in enumerate(funcs):
+            exact_equal(f.inverse(), r, i)
+
+    @given(batches(linear_cds()))
+    def test_delta(self, funcs):
+        r = ak.batch_delta(ak.Ragged.from_functions(funcs))
+        for i, f in enumerate(funcs):
+            exact_equal(f.delta(), r, i)
+
+    @given(batches(st.tuples(linear_cds(), linear_cds())))
+    def test_compose(self, pairs):
+        outer = ak.batch_inverse(ak.Ragged.from_functions([a for a, _ in pairs]))
+        inner = ak.Ragged.from_functions([b for _, b in pairs])
+        r = ak.batch_compose(outer, inner)
+        for i, (a, b) in enumerate(pairs):
+            exact_equal(a.inverse().compose(b), r, i)
+
+    @given(batches(st.tuples(linear_cds(), linear_cds())))
+    def test_compose_with(self, pairs):
+        pcs = [a.delta() for a, _ in pairs]
+        inner = ak.Ragged.from_functions([b for _, b in pairs])
+        r = ak.batch_compose_with(ak.Ragged.from_functions(pcs), inner)
+        for i, (pc, (_, b)) in enumerate(zip(pcs, pairs)):
+            exact_equal(pc.compose_with(b), r, i)
+
+    @given(batches(st.tuples(linear_cds(), linear_cds())))
+    def test_multiply_and_integral(self, pairs):
+        a_pc = [a.delta() for a, _ in pairs]
+        b_pc = [b.delta() for _, b in pairs]
+        r = ak.batch_multiply(
+            ak.Ragged.from_functions(a_pc), ak.Ragged.from_functions(b_pc)
+        )
+        sums = ak.batch_integral(r)
+        for i, (pa, pb) in enumerate(zip(a_pc, b_pc)):
+            product = pa.multiply(pb)
+            exact_equal(product, r, i)
+            assert product.integral() == sums[i]
+
+    @given(batches(st.tuples(linear_cds(), linear_cds(), linear_cds())))
+    @settings(max_examples=50)
+    def test_pointwise_family(self, triples):
+        parts = [
+            ak.Ragged.from_functions([t[k] for t in triples]) for k in range(3)
+        ]
+        for batched, obj in (
+            (ak.batch_pointwise_min, pw.pointwise_min),
+            (ak.batch_pointwise_max, pw.pointwise_max),
+            (ak.batch_pointwise_sum, pw.pointwise_sum),
+            (ak.batch_concave_max, pw.concave_max),
+        ):
+            r = batched(parts)
+            for i, t in enumerate(triples):
+                exact_equal(obj(list(t)), r, i)
+
+    @given(batches(linear_any(max_points=12)))
+    def test_concave_envelope(self, funcs):
+        r = ak.batch_concave_envelope(ak.Ragged.from_functions(funcs))
+        for i, f in enumerate(funcs):
+            exact_equal(pw.concave_envelope(f), r, i)
+
+    @given(st.lists(st.floats(min_value=-10, max_value=1e4), min_size=1, max_size=6))
+    def test_constant(self, ends):
+        arr = np.array(ends)
+        r = ak.batch_constant(arr)
+        for i, end in enumerate(ends):
+            exact_equal(pw.PiecewiseConstant.constant(1.0, end), r, i)
+
+
+class TestOpEdgeCases:
+    def test_empty_and_single_point_segments(self):
+        empty = pw.PiecewiseConstant.empty()
+        one = pw.PiecewiseLinear(np.array([2.0]), np.array([3.0]))
+        two = pw.PiecewiseLinear(np.array([0.0, 4.0]), np.array([0.0, 8.0]))
+        pc = two.delta()
+
+        r = ak.batch_multiply(
+            ak.Ragged.from_functions([empty, pc, empty]),
+            ak.Ragged.from_functions([pc, empty, empty]),
+        )
+        for i in range(3):
+            exact_equal(pw.PiecewiseConstant.empty(), r, i)
+        assert list(ak.batch_integral(r)) == [0.0, 0.0, 0.0]
+
+        # compose_with early-outs: empty step function / degenerate inner.
+        cw = ak.batch_compose_with(
+            ak.Ragged.from_functions([empty, pc, pc]),
+            ak.Ragged.from_functions([two, one, two]),
+        )
+        exact_equal(empty.compose_with(two), cw, 0)
+        exact_equal(pc.compose_with(one), cw, 1)
+        exact_equal(pc.compose_with(two), cw, 2)
+
+        inv = ak.batch_inverse(ak.Ragged.from_functions([one, two]))
+        exact_equal(one.inverse(), inv, 0)
+        exact_equal(two.inverse(), inv, 1)
+
+    def test_dedupe_tail_corner(self):
+        # Breakpoints closer than _EPS at the domain end exercise the
+        # keep-the-last-breakpoint rule of _dedupe_breakpoints.
+        f = pw.PiecewiseLinear(
+            np.array([0.0, 1.0, 1.0 + 5e-10]), np.array([0.0, 2.0, 2.0 + 1e-10])
+        )
+        g = pw.PiecewiseLinear(np.array([0.0, 2.0]), np.array([0.0, 1.0]))
+        r = ak.batch_compose(
+            ak.Ragged.from_functions([f.inverse()]), ak.Ragged.from_functions([g])
+        )
+        exact_equal(f.inverse().compose(g), r, 0)
+
+    def test_zero_cardinality_and_break_semantics(self):
+        # An empty relation must bound to exactly 0.0 on both kernels —
+        # including cross products, where the object path breaks out of the
+        # root product at the first zero (the array path must replicate the
+        # break, not multiply 0 by a possibly-infinite later factor).
+        from repro.db.query import Query
+
+        cds = {
+            ("a", "x"): pw.PiecewiseLinear(np.array([0.0, 3.0]), np.array([0.0, 9.0])),
+            ("b", "x"): pw.PiecewiseLinear(np.array([0.0, 2.0]), np.array([0.0, 0.0])),
+        }
+        q = Query().add_relation("a", "A").add_relation("b", "B")
+        q.add_join("a", "x", "b", "x")
+        lone = Query().add_relation("a", "A").add_relation("c", "C")
+        for kernel in ("object", "array"):
+            engine = FdsbEngine(eval_kernel=kernel)
+            engine.array_min_work = 0
+            skeleton = engine.compile(q)
+            items = [(skeleton, cds, {"a": 9.0, "b": 0.0})]
+            assert engine.bound_batch_compiled(items) == [0.0]
+            # Disconnected shape: zero single-table card zeroes the product.
+            sk2 = engine.compile(lone)
+            assert engine.bound_batch_compiled([(sk2, {}, {"a": 0.0, "c": 123.0})]) == [0.0]

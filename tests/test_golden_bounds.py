@@ -1,0 +1,61 @@
+"""Golden-bound regression gate.
+
+Recomputes every corpus workload's bounds from scratch (deterministic
+seeds, default SafeBound configuration) and compares them — as exact
+``float.hex`` strings — against the JSON files committed under
+``tests/golden/``.  A mismatch means a PR changed served bounds; if the
+change is intentional, regenerate with
+
+    PYTHONPATH=src python tests/make_golden_bounds.py
+
+and commit the refreshed corpus alongside the justification.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from golden_corpus import (
+    compute_bounds,
+    corpus_workloads,
+    digest_bounds,
+    golden_path,
+)
+
+REGEN = "PYTHONPATH=src python tests/make_golden_bounds.py"
+
+
+@pytest.fixture(scope="module")
+def recomputed():
+    return compute_bounds(corpus_workloads())
+
+
+@pytest.mark.parametrize(
+    "name", ["stats_ceb", "job_light", "job_light_ranges", "tpch"]
+)
+class TestGoldenBounds:
+    def test_golden_file_exists_and_is_consistent(self, name):
+        path = golden_path(name)
+        assert path.exists(), f"missing {path}; run: {REGEN}"
+        doc = json.loads(path.read_text())
+        assert doc["workload"] == name
+        # The stored digest must match the stored bounds (file integrity).
+        assert doc["digest"] == digest_bounds(doc["bounds"])
+
+    def test_bounds_match_golden(self, recomputed, name):
+        doc = json.loads(golden_path(name).read_text())
+        fresh = recomputed[name]
+        stored = doc["bounds"]
+        assert set(fresh) == set(stored), (
+            f"{name}: query set changed; if intentional run: {REGEN}"
+        )
+        diffs = {
+            q: (stored[q], fresh[q]) for q in stored if stored[q] != fresh[q]
+        }
+        assert not diffs, (
+            f"{name}: {len(diffs)} bound(s) shifted, e.g. "
+            f"{next(iter(diffs.items()))!r}; if intentional run: {REGEN}"
+        )
+        assert digest_bounds(fresh) == doc["digest"]

@@ -1,0 +1,174 @@
+"""Hypothesis property tests for the core/piecewise.py algebra.
+
+These pin the *mathematical* invariants the FDSB correctness proof leans
+on (Sec 3 of the paper), independent of any kernel: pointwise min/max
+bracket every input, the concave envelope is an idempotent dominating
+majorant, pseudo-inverse and delta round-trip, and pointwise_sum is
+pointwise linear.  Runs derandomized under the ``ci`` profile registered
+in tests/conftest.py (select with ``HYPOTHESIS_PROFILE=ci``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.piecewise import (
+    PiecewiseLinear,
+    concave_envelope,
+    concave_max,
+    pointwise_max,
+    pointwise_min,
+    pointwise_sum,
+)
+
+steps = st.floats(min_value=1e-6, max_value=50.0, allow_nan=False, allow_infinity=False)
+gains = st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def cds(draw, max_points: int = 8):
+    """A valid nondecreasing CDS-like function starting at (0, 0)."""
+    n = draw(st.integers(min_value=1, max_value=max_points))
+    xs = np.concatenate(([0.0], np.cumsum(draw(st.lists(steps, min_size=n, max_size=n)))))
+    ys = np.concatenate(([0.0], np.cumsum(draw(st.lists(gains, min_size=n, max_size=n)))))
+    return PiecewiseLinear(xs, ys)
+
+
+# Exact flats or honest slopes: steps within an ulp of the _EPS dedupe
+# tolerance make the pseudo-inverse's slope ~1/eps and amplify rounding
+# noise far past any fixed property tolerance — pathological shapes the
+# differential suite covers, not an algebra invariant.
+slopes_or_flat = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def concave_cds(draw, max_points: int = 8):
+    """A concave nondecreasing CDS (valid compressed-sequence shape)."""
+    n = draw(st.integers(min_value=2, max_value=max_points))
+    dx = np.array(draw(st.lists(steps, min_size=n - 1, max_size=n - 1)))
+    slopes = np.sort(
+        np.array(draw(st.lists(slopes_or_flat, min_size=n - 1, max_size=n - 1)))
+    )[::-1]
+    xs = np.concatenate(([0.0], np.cumsum(dx)))
+    ys = np.concatenate(([0.0], np.cumsum(slopes * dx)))
+    return PiecewiseLinear(xs, ys)
+
+
+def grid_of(*funcs):
+    return np.unique(np.concatenate([f.xs for f in funcs]))
+
+
+TOL = 1e-7
+
+
+class TestPointwiseBracketing:
+    @given(st.lists(cds(), min_size=2, max_size=5))
+    def test_min_lower_bounds_every_input(self, funcs):
+        m = pointwise_min(funcs)
+        grid = grid_of(m, *funcs)
+        grid = grid[grid <= m.domain_end + 1e-9]
+        for f in funcs:
+            assert np.all(m(grid) <= f(grid) + TOL * (1 + np.abs(f(grid))))
+
+    @given(st.lists(cds(), min_size=2, max_size=5))
+    def test_max_upper_bounds_every_input(self, funcs):
+        m = pointwise_max(funcs)
+        grid = grid_of(m, *funcs)
+        for f in funcs:
+            assert np.all(m(grid) >= f(grid) - TOL * (1 + np.abs(f(grid))))
+
+    @given(st.lists(concave_cds(), min_size=2, max_size=5))
+    def test_concave_max_dominates_pointwise_max(self, funcs):
+        exact = pointwise_max(funcs)
+        hull = concave_max(funcs)
+        assert hull.dominates(exact, tol=1e-6)
+        # ... and stays anchored at the endpoint values.
+        assert hull(0.0) <= TOL
+        assert abs(hull(hull.domain_end) - exact(exact.domain_end)) <= TOL * (
+            1 + exact(exact.domain_end)
+        )
+
+
+class TestConcaveEnvelope:
+    @given(cds(max_points=12))
+    def test_dominates_input(self, f):
+        env = concave_envelope(f)
+        grid = grid_of(env, f)
+        assert np.all(env(grid) >= f(grid) - TOL * (1 + np.abs(f(grid))))
+
+    @given(cds(max_points=12))
+    def test_idempotent(self, f):
+        env = concave_envelope(f)
+        env2 = concave_envelope(env)
+        assert np.array_equal(env.xs, env2.xs)
+        assert np.array_equal(env.ys, env2.ys)
+
+    @given(cds(max_points=12))
+    def test_is_concave_and_preserves_endpoints(self, f):
+        env = concave_envelope(f)
+        assert env.is_concave(tol=1e-6)
+        assert env(f.xs[0]) == f.ys[0]
+        assert abs(env.total - f.total) <= TOL * (1 + abs(f.total))
+
+
+class TestInverseDeltaRoundTrips:
+    @given(concave_cds())
+    def test_pseudo_inverse_galois(self, f):
+        """``F(F^{-1}(v)) >= v`` and ``F^{-1}(F(x)) <= x`` — the Galois
+        connection that makes beta steps sound.  Holds for concave CDSs
+        (the valid compressed shape): interior flats cannot occur there,
+        and ``inverse()`` linearises across flats otherwise."""
+        inv = f.inverse()
+        vs = np.linspace(f.ys[0], f.total, 17)
+        assert np.all(f(inv(vs)) >= vs - TOL * (1 + np.abs(vs)))
+        xs = np.linspace(f.xs[0], f.domain_end, 17)
+        assert np.all(inv(f(xs)) <= xs + TOL * (1 + np.abs(xs)))
+
+    @given(concave_cds())
+    def test_delta_cumulative_round_trip(self, f):
+        """A CDS is recovered from its own derivative step function."""
+        back = f.delta().cumulative()
+        grid = grid_of(f, back)
+        assert np.allclose(back(grid), f(grid), rtol=1e-9, atol=1e-9)
+
+    @given(cds())
+    def test_delta_integral_is_total(self, f):
+        assert abs(f.delta().integral() - (f.total - f.ys[0])) <= TOL * (1 + f.total)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=9))
+    @settings(max_examples=60)
+    def test_strictly_increasing_inverse_involution(self, raw):
+        ys = np.cumsum(np.array(raw) + 1.0)
+        xs = np.arange(float(len(ys)))
+        f = PiecewiseLinear(xs, ys)
+        ff = f.inverse().inverse()
+        grid = grid_of(f, ff)
+        assert np.allclose(ff(grid), f(grid), rtol=1e-9, atol=1e-9)
+
+
+class TestPointwiseSumLinearity:
+    @given(cds(), cds())
+    def test_sum_is_pointwise_addition(self, f, g):
+        s = pointwise_sum([f, g])
+        grid = grid_of(s, f, g)
+        grid = grid[grid <= s.domain_end + 1e-9]
+        expect = f(grid) + g(grid)
+        assert np.allclose(s(grid), expect, rtol=1e-9, atol=1e-9)
+
+    @given(cds(), st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def test_sum_with_scaled_self(self, f, factor):
+        s = pointwise_sum([f, f.scale(factor)])
+        grid = grid_of(s, f)
+        grid = grid[grid <= s.domain_end + 1e-9]
+        assert np.allclose(s(grid), f(grid) * (1.0 + factor), rtol=1e-9, atol=1e-9)
+
+    @given(st.lists(cds(), min_size=2, max_size=4))
+    def test_sum_total_is_sum_of_totals(self, funcs):
+        s = pointwise_sum(funcs)
+        expect = sum(f.total for f in funcs)
+        assert abs(s.total - expect) <= TOL * (1 + abs(expect))
