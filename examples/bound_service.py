@@ -80,8 +80,14 @@ def main() -> None:
         )
         estimator.build(db)
         v1 = catalog.latest("events_db")
-        print(f"published {v1.label}: {v1.file_bytes / 1024:.1f} KiB on disk, "
-              f"{v1.num_sequences} sequences")
+        print(f"published {v1.label} ({v1.format} format): "
+              f"{v1.file_bytes / 1024:.1f} KiB on disk, "
+              f"{v1.num_sequences} sequences, "
+              f"digest {v1.metadata['stats_digest'][:12]}…")
+        # The default arena format is a zero-copy mmap: cold starts map it
+        # in O(manifest) time, and every process serving this version
+        # shares the same read-only pages (see `python -m repro.service
+        # stats-info` and EstimationServer(num_workers=...)).
 
         # 2. Serve concurrent clients through micro-batches.
         server = EstimationServer(estimator, max_batch=32, max_wait_ms=2.0, refresh_db=db)

@@ -106,9 +106,28 @@ class Ragged:
 
     @staticmethod
     def from_functions(funcs) -> "Ragged":
-        """Pack PiecewiseLinear / PiecewiseConstant objects into one batch."""
+        """Pack PiecewiseLinear / PiecewiseConstant objects into one batch.
+
+        When every function is an arena slice of the same
+        :class:`~.arena.StatsArena` (unconditioned serving traffic over
+        mmap-loaded statistics — the common case for edge packs), the
+        whole batch is built with one vectorized gather over the arena's
+        flat family buffers instead of touching per-object fields.  The
+        gathered floats are byte-identical to the per-object path.
+        """
         if not funcs:
             return Ragged(np.empty(0), np.empty(0), np.zeros(1, dtype=np.int64))
+        first = getattr(funcs[0], "_arena_slice", None)
+        if first is not None:
+            arena = first[0]
+            indices = np.empty(len(funcs), dtype=np.int64)
+            for i, f in enumerate(funcs):
+                ref = getattr(f, "_arena_slice", None)
+                if ref is None or ref[0] is not arena:
+                    break
+                indices[i] = ref[1]
+            else:
+                return arena.gather(indices)
         lengths = np.array([len(f.xs) for f in funcs], dtype=np.int64)
         offsets = _offsets_from_lengths(lengths)
         if offsets[-1]:

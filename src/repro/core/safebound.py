@@ -153,14 +153,16 @@ class SafeBound:
     # ------------------------------------------------------------------
     # Persistence facade (over core/serialization.py)
     # ------------------------------------------------------------------
-    def save(self, path: str) -> int:
-        """Serialise the built statistics to ``path`` (an ``.npz`` archive);
-        returns the file size in bytes."""
+    def save(self, path: str, stats_format: str = "v1") -> int:
+        """Serialise the built statistics to ``path``; returns the file
+        size in bytes.  ``stats_format="v1"`` writes the compressed
+        ``.npz`` archive, ``"arena"`` the zero-copy mmap layout that
+        :meth:`load` maps lazily (see ``core/serialization.py``)."""
         if self.stats is None:
             raise RuntimeError("SafeBound.build(db) must run before save()")
         from .serialization import save_stats
 
-        return save_stats(self.stats, path)
+        return save_stats(self.stats, path, stats_format=stats_format)
 
     @classmethod
     def load(
@@ -170,8 +172,10 @@ class SafeBound:
         config: SafeBoundConfig | None = None,
     ) -> "SafeBound":
         """A ready-to-serve SafeBound from statistics written by
-        :meth:`save`.  Pass ``db`` to re-attach update tracking (the
-        frequency counters are not serialised)."""
+        :meth:`save` in either format (sniffed from the file; arena
+        archives load in O(manifest) time as lazy zero-copy views).  Pass
+        ``db`` to re-attach update tracking (the frequency counters are
+        not serialised)."""
         from .serialization import load_stats
 
         sb = cls(config)

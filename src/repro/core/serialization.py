@@ -2,10 +2,28 @@
 
 The paper compares "the size of the stored statistics file on disk"
 (Sec 5, Metrics).  This module serialises a :class:`SafeBoundStats` store
-to a single ``.npz`` archive — every piecewise-linear function becomes two
-float arrays, Bloom filters become packed bit arrays, and the nesting
-structure goes into a JSON manifest.  No pickle, so archives are portable
-and safe to load.
+in two interchangeable formats:
+
+* **v1** — a single ``.npz`` archive: every piecewise-linear function
+  becomes two float arrays, Bloom filters become packed bit arrays, and
+  the nesting structure goes into a JSON manifest.  No pickle, so
+  archives are portable and safe to load.  Loading decompresses and
+  rebuilds the full object graph.
+* **arena** (v2, ``core/arena.py``) — the same content as raw
+  little-endian buffers, with every relation's piecewise functions
+  already concatenated into the ragged ``(xs, ys, offsets)``
+  structure-of-arrays the array kernel consumes.  :func:`load_stats`
+  ``np.memmap``\\ s the file and returns *lazy* statistics whose
+  relations materialise on first access as zero-copy views — O(manifest)
+  load time, and the mapped pages are shared read-only across processes.
+
+:func:`load_stats` sniffs the format from the file magic, so every
+consumer (``SafeBound.load``, the catalog, the server) handles both.
+:func:`stats_digest` is format-independent by construction: it hashes the
+canonical arena-family representation (structural manifest + concatenated
+family buffers) built from the in-memory store, so v1 and arena archives
+of the same statistics — and stores loaded back from either — digest
+identically.
 """
 
 from __future__ import annotations
@@ -13,9 +31,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 
 import numpy as np
 
+from .arena import ArenaBloomFilter, StatsArena, is_arena_file, write_arena
 from .bloom import BloomFilter
 from .conditioning import (
     EqualityStats,
@@ -33,11 +53,15 @@ __all__ = [
     "load_stats",
     "stats_file_bytes",
     "stats_digest",
+    "describe_stats_file",
+    "STATS_FORMATS",
 ]
+
+STATS_FORMATS = ("v1", "arena")
 
 
 class _Archive:
-    """Accumulates named arrays plus a JSON manifest."""
+    """Accumulates named arrays plus a JSON manifest (the v1 layout)."""
 
     def __init__(self) -> None:
         self.arrays: dict[str, np.ndarray] = {}
@@ -72,6 +96,82 @@ class _Archive:
         bloom.bits = np.unpackbits(self.arrays[manifest["bits"]])[: bloom.num_bits].astype(bool)
         return bloom
 
+    def put_boundaries(self, boundaries: np.ndarray) -> str:
+        key = f"hb{self.counter}"
+        self.counter += 1
+        self.arrays[key] = boundaries
+        return key
+
+    def get_boundaries(self, key: str) -> np.ndarray:
+        return self.arrays[key]
+
+
+class _ArenaArchive:
+    """Accumulates the same content as :class:`_Archive`, but into the
+    concatenated ragged families of the arena layout; references are
+    integer slice indices instead of array names."""
+
+    def __init__(self) -> None:
+        self.pl_parts: list[tuple[np.ndarray, np.ndarray]] = []
+        self.bloom_parts: list[np.ndarray] = []
+        self.hb_parts: list[np.ndarray] = []
+
+    def put_pl(self, func: PiecewiseLinear) -> int:
+        self.pl_parts.append((func.xs, func.ys))
+        return len(self.pl_parts) - 1
+
+    def put_bloom(self, bloom: BloomFilter) -> dict:
+        self.bloom_parts.append(np.packbits(bloom.bits))
+        return {
+            "bits": len(self.bloom_parts) - 1,
+            "num_bits": bloom.num_bits,
+            "num_hashes": bloom.num_hashes,
+            "num_items": bloom.num_items,
+        }
+
+    def put_boundaries(self, boundaries: np.ndarray) -> int:
+        self.hb_parts.append(np.asarray(boundaries, dtype=float))
+        return len(self.hb_parts) - 1
+
+    def family_arrays(self) -> dict[str, np.ndarray]:
+        """The concatenated ``(values, offsets)`` family buffers."""
+        from .arraykernel import _offsets_from_lengths
+
+        def offsets(parts_lengths: list[int]) -> np.ndarray:
+            # The very convention Ragged consumes — one source of truth.
+            return _offsets_from_lengths(np.asarray(parts_lengths, dtype=np.int64))
+
+        def concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+            if not parts:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate([np.asarray(p, dtype=dtype) for p in parts])
+
+        return {
+            "pl_xs": concat([p[0] for p in self.pl_parts], np.float64),
+            "pl_ys": concat([p[1] for p in self.pl_parts], np.float64),
+            "pl_offsets": offsets([len(p[0]) for p in self.pl_parts]),
+            "bloom_bits": concat(self.bloom_parts, np.uint8),
+            "bloom_offsets": offsets([len(p) for p in self.bloom_parts]),
+            "hb_vals": concat(self.hb_parts, np.float64),
+            "hb_offsets": offsets([len(p) for p in self.hb_parts]),
+        }
+
+
+class _ArenaReader:
+    """Archive-reader facade over a mapped :class:`StatsArena`."""
+
+    def __init__(self, arena: StatsArena) -> None:
+        self.arena = arena
+
+    def get_pl(self, index: int) -> PiecewiseLinear:
+        return self.arena.pl(index)
+
+    def get_bloom(self, manifest: dict) -> ArenaBloomFilter:
+        return self.arena.bloom(manifest)
+
+    def get_boundaries(self, index: int) -> np.ndarray:
+        return self.arena.boundaries(index)
+
 
 def _encode_value(value):
     """JSON-safe encoding of an MCV key (str / float / None)."""
@@ -80,7 +180,7 @@ def _encode_value(value):
     return str(value)
 
 
-def _dump_equality(eq: EqualityStats, ar: _Archive) -> dict:
+def _dump_equality(eq: EqualityStats, ar) -> dict:
     return {
         "reps": [ar.put_pl(r) for r in eq.reps],
         "default": ar.put_pl(eq.default_cds),
@@ -93,7 +193,7 @@ def _dump_equality(eq: EqualityStats, ar: _Archive) -> dict:
     }
 
 
-def _load_equality(manifest: dict, ar: _Archive) -> EqualityStats:
+def _load_equality(manifest: dict, ar) -> EqualityStats:
     return EqualityStats(
         reps=[ar.get_pl(k) for k in manifest["reps"]],
         default_cds=ar.get_pl(manifest["default"]),
@@ -110,12 +210,9 @@ def _load_equality(manifest: dict, ar: _Archive) -> EqualityStats:
     )
 
 
-def _dump_histogram(hist: HistogramStats, ar: _Archive) -> dict:
-    key = f"hb{ar.counter}"
-    ar.counter += 1
-    ar.arrays[key] = hist.boundaries
+def _dump_histogram(hist: HistogramStats, ar) -> dict:
     return {
-        "boundaries": key,
+        "boundaries": ar.put_boundaries(hist.boundaries),
         "levels": hist.levels,
         "reps": [ar.put_pl(r) for r in hist.reps],
         "buckets": [[lvl, b, g] for (lvl, b), g in hist.bucket_group.items()],
@@ -123,9 +220,9 @@ def _dump_histogram(hist: HistogramStats, ar: _Archive) -> dict:
     }
 
 
-def _load_histogram(manifest: dict, ar: _Archive) -> HistogramStats:
+def _load_histogram(manifest: dict, ar) -> HistogramStats:
     return HistogramStats(
-        boundaries=ar.arrays[manifest["boundaries"]],
+        boundaries=ar.get_boundaries(manifest["boundaries"]),
         levels=manifest["levels"],
         reps=[ar.get_pl(k) for k in manifest["reps"]],
         bucket_group={(lvl, b): g for lvl, b, g in manifest["buckets"]},
@@ -133,7 +230,7 @@ def _load_histogram(manifest: dict, ar: _Archive) -> HistogramStats:
     )
 
 
-def _dump_trigram(tri: TrigramStats, ar: _Archive) -> dict:
+def _dump_trigram(tri: TrigramStats, ar) -> dict:
     return {
         "reps": [ar.put_pl(r) for r in tri.reps],
         "grams": [[g, int(i)] for g, i in tri.gram_to_group.items()],
@@ -142,7 +239,7 @@ def _dump_trigram(tri: TrigramStats, ar: _Archive) -> dict:
     }
 
 
-def _load_trigram(manifest: dict, ar: _Archive) -> TrigramStats:
+def _load_trigram(manifest: dict, ar) -> TrigramStats:
     return TrigramStats(
         reps=[ar.get_pl(k) for k in manifest["reps"]],
         gram_to_group={g: i for g, i in manifest["grams"]},
@@ -151,8 +248,12 @@ def _load_trigram(manifest: dict, ar: _Archive) -> TrigramStats:
     )
 
 
-def _build_archive(stats: SafeBoundStats) -> tuple[_Archive, dict]:
-    ar = _Archive()
+def _build_archive(stats: SafeBoundStats, ar=None):
+    """Walk the store into an archive (v1 by default); the same walk fills
+    an :class:`_ArenaArchive`, so both formats share one code path and one
+    canonical manifest structure."""
+    if ar is None:
+        ar = _Archive()
     manifest: dict = {"build_seconds": stats.build_seconds, "relations": {}}
     for name, rel in stats.relations.items():
         rel_manifest = {
@@ -185,14 +286,114 @@ def _build_archive(stats: SafeBoundStats) -> tuple[_Archive, dict]:
     return ar, manifest
 
 
-def _digest_archive(ar: _Archive, manifest: dict) -> str:
+def _relation_from_manifest(name: str, rel_manifest: dict, ar) -> RelationStats:
+    """Rebuild one relation's statistics from its manifest subtree; shared
+    by the eager v1 loader and the lazy per-relation arena materialiser."""
+    rel = RelationStats(name, rel_manifest["cardinality"])
+    rel.fallback_cds = {
+        c: ar.get_pl(k) for c, k in rel_manifest["fallback"].items()
+    }
+    rel.virtual_columns = {
+        tuple(k): v for k, v in rel_manifest["virtual"]
+    }
+    rel.pending_inserts = rel_manifest.get("pending_inserts", 0)
+    rel.stale_dims = set(rel_manifest.get("stale_dims", []))
+    for col, js_manifest in rel_manifest["join_stats"].items():
+        js = JoinColumnStats(
+            column=col,
+            base=ar.get_pl(js_manifest["base"]),
+            like_default_mode=js_manifest["like_mode"],
+            pending_inserts=js_manifest.get("pending_inserts", 0.0),
+        )
+        for fcol, f_manifest in js_manifest["filters"].items():
+            fstats = FilterColumnStats()
+            if f_manifest["eq"] is not None:
+                fstats.equality = _load_equality(f_manifest["eq"], ar)
+            if f_manifest["hist"] is not None:
+                fstats.histogram = _load_histogram(f_manifest["hist"], ar)
+            if f_manifest["tri"] is not None:
+                fstats.trigram = _load_trigram(f_manifest["tri"], ar)
+            js.filters[fcol] = fstats
+        rel.join_stats[col] = js
+    return rel
+
+
+class _ArenaRelations(dict):
+    """Lazy ``table -> RelationStats`` mapping over an arena manifest.
+
+    Each relation materialises on first access — zero-copy views into the
+    arena — so ``load_stats`` is O(manifest) and a server that only ever
+    queries a subset of tables never pays for the rest.  Iteration follows
+    the manifest (build) order so re-serialising or digesting a lazily
+    loaded store walks relations exactly like the original.
+
+    Materialisation is thread-safe: a serving thread and a staleness
+    poller routinely race on the same freshly loaded store, so the
+    pending->materialised transition happens under a lock (the loser of
+    the race gets the winner's object, never a ``KeyError``)."""
+
+    def __init__(self, arena: StatsArena, rel_manifests: dict[str, dict]) -> None:
+        super().__init__()
+        self._reader = _ArenaReader(arena)
+        self._pending = dict(rel_manifests)
+        self._order = list(rel_manifests)
+        self._materialize_lock = threading.Lock()
+
+    def __missing__(self, name: str) -> RelationStats:
+        with self._materialize_lock:
+            if dict.__contains__(self, name):  # lost the materialise race
+                return dict.__getitem__(self, name)
+            rel_manifest = self._pending[name]  # KeyError for unknown names
+            rel = _relation_from_manifest(name, rel_manifest, self._reader)
+            dict.__setitem__(self, name, rel)
+            del self._pending[name]
+            return rel
+
+    def __setitem__(self, name, rel) -> None:
+        with self._materialize_lock:
+            self._pending.pop(name, None)
+            if name not in self._order:
+                self._order.append(name)
+            dict.__setitem__(self, name, rel)
+
+    def __contains__(self, name) -> bool:
+        return dict.__contains__(self, name) or name in self._pending
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return iter(self._order)
+
+    def keys(self):
+        return list(self._order)
+
+    def values(self):
+        return [self[name] for name in self._order]
+
+    def items(self):
+        return [(name, self[name]) for name in self._order]
+
+    def get(self, name, default=None):
+        return self[name] if name in self else default
+
+    @property
+    def materialized(self) -> list[str]:
+        return [name for name in self._order if dict.__contains__(self, name)]
+
+
+def _digest_families(manifest: dict, arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the canonical (arena-family) representation: the
+    zeroed structural manifest plus every family buffer's name, dtype and
+    raw bytes.  A pure function of the store content, so every format —
+    and every load of either format — digests identically."""
     zeroed = dict(manifest)
     zeroed["build_seconds"] = 0.0
     h = hashlib.sha256()
     h.update(json.dumps(zeroed, sort_keys=False).encode())
-    for key in ar.arrays:
-        h.update(key.encode())
-        array = np.ascontiguousarray(ar.arrays[key])
+    for name, array in arrays.items():
+        h.update(name.encode())
+        array = np.ascontiguousarray(array)
         h.update(str(array.dtype).encode())
         h.update(array.tobytes())
     return h.hexdigest()
@@ -207,70 +408,123 @@ def _write_archive(ar: _Archive, manifest: dict, path: str) -> int:
     return os.path.getsize(real_path)
 
 
-def save_stats(stats: SafeBoundStats, path: str) -> int:
-    """Serialise the statistics store; returns the file size in bytes."""
+def _arena_families(stats: SafeBoundStats) -> tuple[dict, dict[str, np.ndarray]]:
+    """One walk of the store into (manifest, concatenated family buffers)
+    — shared by the arena writer and the digest so a publish never pays
+    serialization twice."""
+    ar = _ArenaArchive()
+    _, manifest = _build_archive(stats, ar)
+    return manifest, ar.family_arrays()
+
+
+def save_stats(stats: SafeBoundStats, path: str, stats_format: str = "v1") -> int:
+    """Serialise the statistics store; returns the file size in bytes.
+
+    ``stats_format`` selects the v1 ``.npz`` archive or the zero-copy
+    arena layout (see the module docstring); :func:`load_stats` reads
+    either transparently.
+    """
+    if stats_format not in STATS_FORMATS:
+        raise ValueError(f"stats_format must be one of {STATS_FORMATS}")
+    if stats_format == "arena":
+        manifest, arrays = _arena_families(stats)
+        return write_arena(path, manifest, arrays)
     ar, manifest = _build_archive(stats)
     return _write_archive(ar, manifest, path)
 
 
-def save_stats_with_digest(stats: SafeBoundStats, path: str) -> tuple[int, str]:
-    """Serialise and digest in one archive-construction pass — for
-    publishers that want both without paying serialization twice."""
+def save_stats_with_digest(
+    stats: SafeBoundStats, path: str, stats_format: str = "v1"
+) -> tuple[int, str]:
+    """Serialise and digest together — for publishers that want both.
+
+    The digest is the canonical :func:`stats_digest` (computed over the
+    arena-family representation), so v1 and arena archives of the same
+    store record the same digest.  The arena path digests the very walk
+    it writes — one serialization pass per publish; the v1 path pays one
+    extra (cheap, compression-free) walk for the digest.
+    """
+    if stats_format not in STATS_FORMATS:
+        raise ValueError(f"stats_format must be one of {STATS_FORMATS}")
+    if stats_format == "arena":
+        manifest, arrays = _arena_families(stats)
+        digest = _digest_families(manifest, arrays)
+        return write_arena(path, manifest, arrays), digest
     ar, manifest = _build_archive(stats)
-    digest = _digest_archive(ar, manifest)
-    return _write_archive(ar, manifest, path), digest
+    return _write_archive(ar, manifest, path), stats_digest(stats)
 
 
 def stats_digest(stats: SafeBoundStats) -> str:
     """A SHA-256 over the full serialised content of the statistics.
 
-    Hashes exactly what :func:`save_stats` would write — every array's raw
-    bytes plus the structural manifest — except ``build_seconds``, which is
-    wall-clock noise, so two builds of equal statistics digest equally no
-    matter how long they took or how they were parallelised.  This is the
-    bit-identity witness for the sharded parallel build, and it is recorded
-    in catalog manifests for provenance.
+    Hashes the canonical arena-family representation — the structural
+    manifest plus every concatenated array's raw bytes — except
+    ``build_seconds``, which is wall-clock noise, so two builds of equal
+    statistics digest equally no matter how long they took or how they
+    were parallelised, and *format-independently*: a store saved as v1
+    or as an arena (or loaded back from either) yields the same digest.
+    This is the bit-identity witness for the sharded parallel build and
+    the format migration, recorded in catalog manifests for provenance.
     """
-    ar, manifest = _build_archive(stats)
-    return _digest_archive(ar, manifest)
+    manifest, arrays = _arena_families(stats)
+    return _digest_families(manifest, arrays)
 
 
 def load_stats(path: str) -> SafeBoundStats:
-    """Load a statistics store previously written by :func:`save_stats`."""
+    """Load a statistics store written by :func:`save_stats`, sniffing
+    the format from the file magic.
+
+    v1 archives decompress into a fully materialised object graph.
+    Arena files are mapped zero-copy: the returned store's relations
+    materialise lazily, their piecewise functions are read-only views of
+    the mapping, and any later mutation (``apply_insert`` padding,
+    recompression) builds fresh private arrays — never writing through
+    the mmap.
+    """
+    if is_arena_file(path):
+        arena = StatsArena(path)
+        return SafeBoundStats(
+            relations=_ArenaRelations(arena, arena.manifest["relations"]),
+            build_seconds=arena.manifest["build_seconds"],
+        )
     with np.load(path) as data:
         ar = _Archive()
         ar.arrays = {k: data[k] for k in data.files}
     manifest = json.loads(bytes(ar.arrays["__manifest__"]).decode())
     stats = SafeBoundStats(build_seconds=manifest["build_seconds"])
     for name, rel_manifest in manifest["relations"].items():
-        rel = RelationStats(name, rel_manifest["cardinality"])
-        rel.fallback_cds = {
-            c: ar.get_pl(k) for c, k in rel_manifest["fallback"].items()
-        }
-        rel.virtual_columns = {
-            tuple(k): v for k, v in rel_manifest["virtual"]
-        }
-        rel.pending_inserts = rel_manifest.get("pending_inserts", 0)
-        rel.stale_dims = set(rel_manifest.get("stale_dims", []))
-        for col, js_manifest in rel_manifest["join_stats"].items():
-            js = JoinColumnStats(
-                column=col,
-                base=ar.get_pl(js_manifest["base"]),
-                like_default_mode=js_manifest["like_mode"],
-                pending_inserts=js_manifest.get("pending_inserts", 0.0),
-            )
-            for fcol, f_manifest in js_manifest["filters"].items():
-                fstats = FilterColumnStats()
-                if f_manifest["eq"] is not None:
-                    fstats.equality = _load_equality(f_manifest["eq"], ar)
-                if f_manifest["hist"] is not None:
-                    fstats.histogram = _load_histogram(f_manifest["hist"], ar)
-                if f_manifest["tri"] is not None:
-                    fstats.trigram = _load_trigram(f_manifest["tri"], ar)
-                js.filters[fcol] = fstats
-            rel.join_stats[col] = js
-        stats.relations[name] = rel
+        stats.relations[name] = _relation_from_manifest(name, rel_manifest, ar)
     return stats
+
+
+def describe_stats_file(path: str) -> dict:
+    """Format, size and array-count metadata of a stats archive on disk —
+    the ``stats-info`` CLI's raw material (paper Fig 8a reports stats
+    memory; this is the serving-side equivalent)."""
+    file_bytes = os.path.getsize(path)
+    if is_arena_file(path):
+        arena = StatsArena(path)
+        return {
+            "format": "arena",
+            "file_bytes": file_bytes,
+            "arrays": len(arena.arrays),
+            "piecewise_functions": arena.num_functions,
+            "bloom_filters": len(arena.arrays["bloom_offsets"]) - 1,
+            "relations": len(arena.manifest["relations"]),
+            "zero_copy": True,
+        }
+    with np.load(path) as data:
+        names = [n for n in data.files if n != "__manifest__"]
+        manifest = json.loads(bytes(data["__manifest__"]).decode())
+    return {
+        "format": "v1",
+        "file_bytes": file_bytes,
+        "arrays": len(names),
+        "piecewise_functions": sum(1 for n in names if n.endswith("_x")),
+        "bloom_filters": sum(1 for n in names if n.startswith("bf")),
+        "relations": len(manifest["relations"]),
+        "zero_copy": False,
+    }
 
 
 def stats_file_bytes(stats: SafeBoundStats) -> int:

@@ -6,11 +6,18 @@ it with a concurrent load generator, optionally streams inserts/deletes
 through the live-ingest path (with a background recompress-and-republish
 cycle the server hot-swaps), and prints a JSON metrics report.
 
+The ``stats-info`` subcommand prints a published version's manifest —
+format (v1 / arena), size on disk, array counts, content digest and build
+parallelism (the serving-side counterpart of the paper's Fig 8a memory
+reporting).
+
 Examples::
 
     PYTHONPATH=src python -m repro.service
     PYTHONPATH=src python -m repro.service --requests 2000 --concurrency 16
     PYTHONPATH=src python -m repro.service --updates 5 --batch 32
+    PYTHONPATH=src python -m repro.service --num-workers 4 --stats-format arena
+    PYTHONPATH=src python -m repro.service stats-info demo --catalog /tmp/cat
 """
 
 from __future__ import annotations
@@ -83,7 +90,54 @@ def demo_queries() -> list[Query]:
     return queries
 
 
+def stats_info(argv: list[str]) -> int:
+    """``stats-info <database>``: print one published version's manifest."""
+    from ..core.serialization import describe_stats_file
+    from .catalog import StatsCatalog
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service stats-info",
+        description="Inspect a published statistics version",
+    )
+    parser.add_argument("database", help="logical database name in the catalog")
+    parser.add_argument("--catalog", required=True, help="catalog root directory")
+    parser.add_argument(
+        "--version", type=int, default=None, help="version number (default: latest)"
+    )
+    args = parser.parse_args(argv)
+    catalog = StatsCatalog(args.catalog)
+    try:
+        entry = catalog.version_info(args.database, args.version)
+    except LookupError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    path = catalog.archive_path(entry)
+    info = {
+        "database": entry.database,
+        "version": entry.version,
+        "label": entry.label,
+        "filename": entry.filename,
+        "created_at": entry.created_at,
+        "note": entry.note,
+        "build_seconds": entry.build_seconds,
+        "num_sequences": entry.num_sequences,
+        "stats_digest": entry.metadata.get("stats_digest"),
+        "build_parallelism": {
+            k: entry.metadata[k]
+            for k in ("build_workers", "build_shard_rows", "build_pool")
+            if k in entry.metadata
+        },
+        **describe_stats_file(str(path)),
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "stats-info":
+        return stats_info(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.service", description="SafeBound bound-serving demo"
     )
@@ -102,7 +156,22 @@ def main(argv: list[str] | None = None) -> int:
         help="bound-evaluation kernel (bit-identical; 'array' batches the "
         "piecewise algebra into vectorized kernels)",
     )
+    parser.add_argument(
+        "--stats-format", choices=("arena", "v1"), default="arena",
+        help="published archive layout: 'arena' is the zero-copy mmap "
+        "format (O(manifest) load, pages shared across processes), 'v1' "
+        "the compressed .npz object archive",
+    )
+    parser.add_argument(
+        "--num-workers", type=int, default=0,
+        help="fork this many serving processes that inherit the loaded "
+        "statistics mmap (>1 enables multi-process mode; incompatible "
+        "with --updates, which needs a live single-process estimator)",
+    )
     args = parser.parse_args(argv)
+    if args.num_workers > 1 and args.updates:
+        parser.error("--num-workers > 1 serves a frozen statistics snapshot "
+                     "and cannot be combined with --updates")
 
     db = build_demo_database()
     tmp = None
@@ -117,14 +186,27 @@ def main(argv: list[str] | None = None) -> int:
         estimator = CatalogBackedSafeBound(
             catalog, "demo",
             SafeBoundConfig(track_updates=True, eval_kernel=args.eval_kernel),
+            stats_format=args.stats_format,
         )
         estimator.build(db)
         published = catalog.latest("demo")
         print(
-            f"published {published.label}: {published.file_bytes / 1024:.1f} KiB, "
+            f"published {published.label} ({published.format}): "
+            f"{published.file_bytes / 1024:.1f} KiB, "
             f"{published.num_sequences} sequences, built in {published.build_seconds:.2f}s",
             file=sys.stderr,
         )
+
+        if args.num_workers > 1:
+            # Serve the *published* archive (an mmap for the arena format)
+            # rather than the build's in-heap statistics, so the forked
+            # workers inherit shared file-backed pages.
+            estimator = CatalogBackedSafeBound(
+                catalog, "demo",
+                SafeBoundConfig(eval_kernel=args.eval_kernel),
+                stats_format=args.stats_format,
+            )
+            estimator.refresh()
 
         ingest = UpdateIngest(db, estimator, republish_overhead=0.05)
         worker = RepublishWorker(ingest, poll_seconds=0.05) if args.updates else None
@@ -134,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
             max_batch=args.batch,
             max_wait_ms=args.wait_ms,
             refresh_db=db,
+            num_workers=args.num_workers,
         )
         queries = demo_queries()
         rng = np.random.default_rng(1)
@@ -156,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
                 worker.stop()
         report.pop("results")
         report["eval_kernel"] = args.eval_kernel
+        report["stats_format"] = args.stats_format
+        report["num_workers"] = args.num_workers
         report["catalog_versions"] = [v.label for v in catalog.versions("demo")]
         report["served_version"] = estimator.version
         report["staleness"] = round(estimator.staleness(), 4)

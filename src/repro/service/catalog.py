@@ -12,8 +12,16 @@ Layout on disk (one directory per logical database)::
     <root>/
       <database>/
         MANIFEST.json       # ordered version list + build metadata
-        v000001.npz         # save_stats archives, immutable once published
-        v000002.npz
+        v000001.npz         # v1 save_stats archives, immutable once published
+        v000002.sba         # arena (zero-copy mmap) archives
+
+Versions publish in either stats format (``core/serialization.py``):
+``"arena"`` — the default — writes the zero-copy mmap layout, which loads
+in O(manifest) time and whose pages are shared read-only across every
+process (and every pinned consumer) mapping the same version; ``"v1"``
+keeps the compressed ``.npz`` object archive.  ``load`` sniffs the format
+from the file, and the manifest digest is format-independent, so the two
+interoperate freely within one version history.
 
 Publishing writes the archive to a temporary name in the same directory
 and ``os.replace``s it into place, then rewrites the manifest the same
@@ -32,7 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.safebound import SafeBound, SafeBoundConfig
-from ..core.serialization import load_stats, save_stats_with_digest
+from ..core.serialization import STATS_FORMATS, load_stats, save_stats_with_digest
 from ..core.stats_builder import SafeBoundStats
 from ..db.database import Database
 from ..db.query import Query
@@ -62,6 +70,9 @@ class StatsVersion:
     num_sequences: int
     note: str = ""
     metadata: dict = field(default_factory=dict)
+    # Stats archive layout; manifests written before the arena format
+    # predate the field, and every such archive is a v1 ``.npz``.
+    format: str = "v1"
 
     @property
     def label(self) -> str:
@@ -131,21 +142,30 @@ class StatsCatalog:
         stats: SafeBoundStats,
         note: str = "",
         metadata: dict | None = None,
+        stats_format: str = "arena",
     ) -> StatsVersion:
         """Atomically publish ``stats`` as the next version of ``database``.
 
-        The manifest entry always records the statistics' content digest;
-        ``metadata`` adds caller context (e.g. the parallel-build worker
-        and shard configuration that produced the archive).
+        ``stats_format`` picks the archive layout (``"arena"`` by default:
+        zero-copy mmap serving).  The manifest entry always records the
+        statistics' *format-independent* content digest — the same store
+        published as v1 and as an arena carries the same digest — plus the
+        format; ``metadata`` adds caller context (e.g. the parallel-build
+        worker and shard configuration that produced the archive).
         """
+        if stats_format not in STATS_FORMATS:
+            raise ValueError(f"stats_format must be one of {STATS_FORMATS}")
         with self._lock:
             directory = self._db_dir(database)
             directory.mkdir(parents=True, exist_ok=True)
             entries = self._read_entries(database)
             version = entries[-1]["version"] + 1 if entries else 1
-            filename = f"v{version:06d}.npz"
+            suffix = "sba" if stats_format == "arena" else "npz"
+            filename = f"v{version:06d}.{suffix}"
             incoming = directory / f"incoming-{filename}"
-            file_bytes, digest = save_stats_with_digest(stats, str(incoming))
+            file_bytes, digest = save_stats_with_digest(
+                stats, str(incoming), stats_format=stats_format
+            )
             os.replace(incoming, directory / filename)
             entry = {
                 "version": version,
@@ -155,10 +175,27 @@ class StatsCatalog:
                 "build_seconds": stats.build_seconds,
                 "num_sequences": stats.num_sequences(),
                 "note": note,
+                "format": stats_format,
                 "metadata": {"stats_digest": digest, **(metadata or {})},
             }
             self._write_entries(database, entries + [entry])
             return StatsVersion(database=database, **entry)
+
+    def version_info(self, database: str, version: int | None = None) -> StatsVersion:
+        """The manifest entry of one version (latest when ``version`` is
+        None); raises :class:`LookupError` for unknown versions."""
+        versions = self.versions(database)
+        if not versions:
+            raise LookupError(f"no published statistics for {database!r}")
+        if version is None:
+            return versions[-1]
+        for v in versions:
+            if v.version == version:
+                return v
+        raise LookupError(f"{database!r} has no version {version}")
+
+    def archive_path(self, entry: StatsVersion) -> Path:
+        return self._db_dir(entry.database) / entry.filename
 
     def load(
         self, database: str, version: int | None = None, fresh: bool = False
@@ -197,12 +234,28 @@ class StatsCatalog:
             return stats
 
     def pin(self, database: str, version: int) -> SafeBoundStats:
-        """Load and pin a version: pinned versions survive eviction."""
+        """Load and pin a version: pinned versions survive eviction.
+
+        The pin is registered *before* the load: ``load`` evicts beyond
+        ``max_loaded`` as part of inserting into the cache, and without
+        the pre-registration it could evict the very version being pinned
+        (every older entry being pinned is enough) — leaving a version
+        that is pinned yet absent from the cache, so later loads re-read
+        it from disk and ``unpin`` can strand other entries past
+        ``max_loaded``.
+        """
         with self._lock:
-            stats = self.load(database, version)
             key = (database, version)
             self._pins[key] = self._pins.get(key, 0) + 1
-            return stats
+            try:
+                return self.load(database, version)
+            except BaseException:
+                count = self._pins.get(key, 0) - 1
+                if count <= 0:
+                    self._pins.pop(key, None)
+                else:
+                    self._pins[key] = count
+                raise
 
     def unpin(self, database: str, version: int) -> None:
         with self._lock:
@@ -248,11 +301,13 @@ class CatalogBackedSafeBound(CardinalityEstimator):
         catalog: StatsCatalog,
         database: str,
         config: SafeBoundConfig | None = None,
+        stats_format: str = "arena",
     ) -> None:
         super().__init__()
         self.catalog = catalog
         self.database = database
         self.config = config or SafeBoundConfig()
+        self.stats_format = stats_format
         self._lock = threading.Lock()
         # Serialises whole build/refresh cycles (publish-check, pin, swap,
         # unpin).  Without it, two concurrent refreshes both pin the new
@@ -288,7 +343,11 @@ class CatalogBackedSafeBound(CardinalityEstimator):
         sb.build(db)
         with self._swap_lock:
             published = self.catalog.publish(
-                self.database, sb.stats, note="build", metadata=self.build_metadata()
+                self.database,
+                sb.stats,
+                note="build",
+                metadata=self.build_metadata(),
+                stats_format=self.stats_format,
             )
             with self._lock:
                 self._safebound = sb

@@ -14,10 +14,25 @@ raises :class:`ServerOverloadedError` instead of growing an unbounded
 backlog.  Between batches the worker polls its estimator for a newer
 catalog version (``refresh``), giving hot statistics swaps without ever
 rejecting or failing a request.
+
+**Multi-process serving.**  ``num_workers > 1`` adds a fork-based process
+pool behind the batching thread: micro-batches are dispatched to worker
+processes (bounded in-flight, so admission control still holds) and
+several batches evaluate concurrently on separate cores.  The workers
+*fork from the parent after its estimator is fully loaded*, so
+arena-backed (mmap) statistics cost almost nothing per worker — the
+mapped pages are file-backed and shared read-only by the OS, and each
+child's incremental resident memory is just what it privately touches.
+The pool serves a frozen snapshot of the estimator: catalog refresh is
+disabled in this mode (children would not observe a hot swap), so pair it
+with immutable published versions, not with live ingest.
 """
 
 from __future__ import annotations
 
+import gc
+import itertools
+import multiprocessing
 import queue
 import threading
 import time
@@ -32,6 +47,66 @@ __all__ = ["ServerOverloadedError", "EstimationServer", "generate_load"]
 
 class ServerOverloadedError(RuntimeError):
     """Admission control: the request queue is full."""
+
+
+# ----------------------------------------------------------------------
+# Fork-based worker pool plumbing.  Estimators are handed to children
+# through fork inheritance of a module-level registry — never pickled —
+# so the children share the parent's mmap-backed statistics pages for
+# free.  A registry entry lives as long as its pool: the pool respawns a
+# replacement worker (forked from the parent *at that later moment*)
+# after a worker death, and the replacement must still find the
+# estimator under its key.
+_fork_lock = threading.Lock()
+_fork_estimators: dict[int, object] = {}
+_fork_counter = itertools.count(1)
+
+
+def _pool_worker_init() -> None:
+    # Freeze the inherited heap: without it, the child's first garbage
+    # collection touches (and therefore copy-on-writes) every inherited
+    # object's header, inflating per-worker resident memory for no reason.
+    gc.freeze()
+
+
+def _pool_estimate(key: int, queries: list[Query]) -> list[float]:
+    return _fork_estimators[key].estimate_batch(queries)
+
+
+def _fork_pool(estimator, num_workers: int):
+    """A ``num_workers``-process pool whose children inherit ``estimator``
+    via fork (POSIX only); created eagerly so every worker forks *now*,
+    while the parent is quiescent, not at first dispatch.  Returns the
+    registry key and the pool; release the key with
+    :func:`_release_fork_pool` after the pool is torn down."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError("num_workers > 1 requires the fork start method (POSIX)")
+    # Force lazy arena-backed statistics to materialize fully before any
+    # fork: a concurrent reader holding the materialization lock at fork
+    # time would leave the child's inherited lock locked forever, and
+    # once everything is materialized that lock is never taken again —
+    # neither by these workers nor by pool respawns, which fork at
+    # arbitrary later moments.  (Children inheriting the materialized
+    # wrappers instead of building private ones is also what keeps their
+    # incremental resident memory small.)
+    warm = getattr(estimator, "memory_bytes", None)
+    if callable(warm):
+        warm()
+    ctx = multiprocessing.get_context("fork")
+    with _fork_lock:
+        key = next(_fork_counter)
+        _fork_estimators[key] = estimator
+        try:
+            pool = ctx.Pool(processes=num_workers, initializer=_pool_worker_init)
+        except BaseException:
+            _fork_estimators.pop(key, None)
+            raise
+        return key, pool
+
+
+def _release_fork_pool(key: int) -> None:
+    with _fork_lock:
+        _fork_estimators.pop(key, None)
 
 
 @dataclass
@@ -51,6 +126,13 @@ class EstimationServer:
     ``CatalogBackedSafeBound``, or any harness estimator).  When it also
     exposes ``refresh()``, the worker calls it between batches every
     ``refresh_seconds`` — the catalog hot-swap hook.
+
+    ``num_workers > 1`` forks that many worker processes at :meth:`start`
+    (after the estimator is loaded, so they inherit it — and its mmap
+    pages — by fork) and evaluates micro-batches on the pool, several in
+    flight at once.  The pool serves a frozen estimator snapshot: refresh
+    polling is disabled, and the estimator must not be mutated while the
+    pool is running.
     """
 
     def __init__(
@@ -63,6 +145,7 @@ class EstimationServer:
         refresh_seconds: float = 0.05,
         refresh_db=None,
         metrics: ServerMetrics | None = None,
+        num_workers: int = 0,
     ) -> None:
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -72,8 +155,25 @@ class EstimationServer:
         self.refresh_seconds = refresh_seconds
         self.refresh_db = refresh_db
         self.metrics = metrics or ServerMetrics()
+        self.num_workers = num_workers
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._thread: threading.Thread | None = None
+        self._pool = None
+        self._fork_key: int | None = None
+        # Bounds dispatched-but-unfinished batches in pool mode, so the
+        # batching thread backs up (and admission control engages) instead
+        # of growing an unbounded task backlog inside the pool.
+        self._inflight: threading.BoundedSemaphore | None = None
+        # Dispatched-but-unsettled batches, keyed by a dispatch id.  Each
+        # entry settles exactly once — by its result callback, its error
+        # callback, or the dead-worker reaper — which is what releases its
+        # in-flight permit and resolves its futures.  Entries carry their
+        # own semaphore so a settle that straddles a stop/start cycle
+        # releases the permit it actually holds.
+        self._inflight_lock = threading.Lock()
+        self._inflight_batches: dict[int, tuple[list[_Request], threading.BoundedSemaphore]] = {}
+        self._dispatch_counter = itertools.count()
+        self._known_worker_pids: set[int] = set()
         self._accepting = False
         self._last_refresh = time.monotonic()
         self.last_refresh_error: Exception | None = None
@@ -84,6 +184,10 @@ class EstimationServer:
     def start(self) -> "EstimationServer":
         if self._thread is not None:
             raise RuntimeError("server already started")
+        if self.num_workers > 1:
+            self._fork_key, self._pool = _fork_pool(self.estimator, self.num_workers)
+            self._inflight = threading.BoundedSemaphore(self.num_workers * 2)
+            self._known_worker_pids = {p.pid for p in self._pool._pool}
         self._accepting = True
         self._thread = threading.Thread(
             target=self._run, name="estimation-server", daemon=True
@@ -99,6 +203,37 @@ class EstimationServer:
         self._queue.put(_STOP)
         self._thread.join(timeout)
         self._thread = None
+        if self._pool is not None:
+            # Every queued batch has been dispatched; close-and-join waits
+            # for in-flight results (and their callbacks) to finish.  The
+            # join is bounded: a worker SIGKILLed *while blocked on the
+            # shared task queue* poisons its lock (a multiprocessing.Pool
+            # limitation) and would hang join forever — fall back to
+            # terminate, and fail whatever never settled.
+            self._pool.close()
+            joiner = threading.Thread(target=self._pool.join, daemon=True)
+            joiner.start()
+            joiner.join(timeout)
+            if joiner.is_alive():
+                self._pool.terminate()
+                joiner.join(5.0)
+            # A worker that died mid-batch leaves that batch unsettled
+            # even after join (multiprocessing.Pool drops the task) — fail
+            # its futures rather than strand the clients.
+            self._fail_unsettled("serving worker process died during shutdown")
+            self._pool = None
+            self._inflight = None
+            if self._fork_key is not None:
+                _release_fork_pool(self._fork_key)
+                self._fork_key = None
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the pool's worker processes (empty without a pool) —
+        lets benchmarks attribute per-worker resident memory."""
+        pool = self._pool
+        if pool is None:
+            return []
+        return [p.pid for p in pool._pool]
 
     def __enter__(self) -> "EstimationServer":
         return self.start()
@@ -138,12 +273,21 @@ class EstimationServer:
     # ------------------------------------------------------------------
     def _run(self) -> None:
         stopping = False
+        # In pool mode the loop wakes periodically even when idle, so a
+        # worker death with batches in flight (and no new requests coming)
+        # is still noticed and reaped.
+        poll = 0.25 if self._pool is not None else None
         while not stopping:
-            head = self._queue.get()
+            try:
+                head = self._queue.get(timeout=poll)
+            except queue.Empty:
+                self._reap_dead_workers()
+                continue
             if head is _STOP:
                 stopping = True
             else:
                 stopping = self._collect_and_serve(head)
+            self._reap_dead_workers()
             self._maybe_refresh()
         # Serve the backlog accepted before shutdown began.
         leftovers: list[_Request] = []
@@ -190,20 +334,94 @@ class EstimationServer:
         for request in batch:
             self.metrics.queue_latency.record(started - request.enqueued_at)
         self.metrics.record_batch(len(batch))
-        try:
-            estimates = self.estimator.estimate_batch([r.query for r in batch])
-        except Exception as exc:  # propagate to every waiting client
-            for request in batch:
-                request.future.set_exception(exc)
-            self.metrics.record_failed(len(batch))
+        queries = [r.query for r in batch]
+        pool, inflight, fork_key = self._pool, self._inflight, self._fork_key
+        if pool is not None and inflight is not None:
+            inflight.acquire()
+            entry = next(self._dispatch_counter)
+            with self._inflight_lock:
+                self._inflight_batches[entry] = (batch, inflight)
+            try:
+                pool.apply_async(
+                    _pool_estimate,
+                    (fork_key, queries),
+                    callback=lambda estimates, e=entry: self._settle(e, estimates, None),
+                    error_callback=lambda exc, e=entry: self._settle(e, None, exc),
+                )
+            except Exception as exc:
+                # stop() can close the pool under a batching thread that
+                # outlived its join timeout — fail the batch instead of
+                # letting the dispatch error kill the thread with the
+                # batch stranded in RUNNING futures.
+                self._settle(entry, None, exc)
             return
+        try:
+            estimates = self.estimator.estimate_batch(queries)
+        except Exception as exc:  # propagate to every waiting client
+            self._fail_batch(batch, exc)
+            return
+        self._finish_batch(batch, estimates)
+
+    def _settle(self, entry: int, estimates, exc: Exception | None) -> None:
+        """Resolve one dispatched batch exactly once (callback thread)."""
+        with self._inflight_lock:
+            item = self._inflight_batches.pop(entry, None)
+        if item is None:
+            return  # already reaped after a worker death
+        batch, inflight = item
+        inflight.release()
+        if exc is not None:
+            self._fail_batch(batch, exc)
+        else:
+            self._finish_batch(batch, estimates)
+
+    def _reap_dead_workers(self) -> None:
+        """Fail the in-flight batches of any worker process that died.
+
+        ``multiprocessing.Pool`` silently drops the task a dying worker
+        was executing (and respawns a replacement, which re-finds the
+        estimator through the fork registry) — without this reaper those
+        clients would hang forever and the batch's in-flight permit would
+        leak until the batching thread wedged.  A batch on a *surviving*
+        worker may be failed spuriously here; its late result is then
+        discarded by the settle-once bookkeeping — over-failing is the
+        sound direction.
+        """
+        pool = self._pool  # snapshot: stop() can null the attribute mid-call
+        if pool is None:
+            return
+        workers = list(pool._pool)
+        alive = {p.pid for p in workers if p.is_alive()}
+        died = self._known_worker_pids - alive
+        self._known_worker_pids = {p.pid for p in workers}
+        if died:
+            self._fail_unsettled(f"serving worker process died (pid {sorted(died)})")
+
+    def _fail_unsettled(self, reason: str) -> None:
+        with self._inflight_lock:
+            lost = list(self._inflight_batches.values())
+            self._inflight_batches.clear()
+        for batch, inflight in lost:
+            inflight.release()
+            self._fail_batch(batch, RuntimeError(reason))
+
+    def _finish_batch(self, batch: list[_Request], estimates) -> None:
         finished = time.perf_counter()
         for request, estimate in zip(batch, estimates):
             self.metrics.request_latency.record(finished - request.enqueued_at)
             request.future.set_result(estimate)
         self.metrics.record_completed(len(batch))
 
+    def _fail_batch(self, batch: list[_Request], exc: Exception) -> None:
+        for request in batch:
+            request.future.set_exception(exc)
+        self.metrics.record_failed(len(batch))
+
     def _maybe_refresh(self) -> None:
+        if self._pool is not None:
+            # Worker processes hold a forked snapshot; a parent-side hot
+            # swap would silently diverge from what the pool serves.
+            return
         refresh = getattr(self.estimator, "refresh", None)
         if refresh is None:
             return

@@ -1,0 +1,333 @@
+"""The zero-copy arena stats format (core/arena.py + serialization v2).
+
+Covers the format contract end to end: bit-identical bounds against the
+v1 archive and the in-memory build, O(manifest) lazy loading, read-only
+mmap views (mutation is copy-on-write, never write-through), the
+format-independent content digest, the array kernel's direct-from-arena
+batch packing, and the golden corpus served from arena-backed stats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import arraykernel as ak
+from repro.core.arena import ArenaBloomFilter, StatsArena, is_arena_file
+from repro.core.predicates import And, Eq, Like, Range
+from repro.core.safebound import SafeBound, SafeBoundConfig
+from repro.core.serialization import (
+    describe_stats_file,
+    load_stats,
+    save_stats,
+    stats_digest,
+)
+from repro.db.query import Query
+
+
+@pytest.fixture(scope="module")
+def built(tiny_db):
+    sb = SafeBound()
+    sb.build(tiny_db)
+    return sb
+
+
+@pytest.fixture(scope="module")
+def arena_path(built, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("arena") / "stats.sba")
+    save_stats(built.stats, path, stats_format="arena")
+    return path
+
+
+def _queries():
+    q1 = Query()
+    q1.add_relation("f", "fact").add_relation("d", "dim")
+    q1.add_join("f", "dim_id", "d", "id")
+    q1.add_predicate("d", And([Range("year", low=1960, high=1990), Like("name", "Abd")]))
+    q2 = Query()
+    q2.add_relation("f", "fact").add_relation("d", "dim").add_relation("g", "fact2")
+    q2.add_join("f", "dim_id", "d", "id").add_join("g", "dim_id", "d", "id")
+    q2.add_predicate("f", Eq("score", 3))
+    q3 = Query()
+    q3.add_relation("f", "fact").add_relation("d", "dim")
+    q3.add_join("f", "dim_id", "d", "id")  # predicate-free: raw arena views
+    return [q1, q2, q3]
+
+
+def _file_sha(path: str) -> str:
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
+class TestRoundTrip:
+    def test_bounds_bit_identical_to_build_and_v1(self, built, arena_path, tmp_path):
+        v1_path = str(tmp_path / "stats.npz")
+        save_stats(built.stats, v1_path)
+        sb_v1 = SafeBound(built.config)
+        sb_v1.stats = load_stats(v1_path)
+        sb_arena = SafeBound(built.config)
+        sb_arena.stats = load_stats(arena_path)
+        for q in _queries():
+            direct = built.bound(q)
+            assert sb_v1.bound(q) == direct  # exact, not approx
+            assert sb_arena.bound(q) == direct
+
+    def test_structure_preserved(self, built, arena_path):
+        reloaded = load_stats(arena_path)
+        assert set(reloaded.relations) == set(built.stats.relations)
+        for name, rel in built.stats.relations.items():
+            rel2 = reloaded.relations[name]
+            assert rel2.cardinality == rel.cardinality
+            assert set(rel2.join_stats) == set(rel.join_stats)
+            assert set(rel2.fallback_cds) == set(rel.fallback_cds)
+            assert rel2.virtual_columns == rel.virtual_columns
+
+    def test_object_kernel_differential_on_arena_stats(self, built, arena_path):
+        """Arena-backed stats through the object kernel == array kernel
+        (the full differential contract holds on views too)."""
+        sb_obj = SafeBound(SafeBoundConfig(eval_kernel="object"))
+        sb_obj.stats = load_stats(arena_path)
+        sb_arr = SafeBound(SafeBoundConfig(eval_kernel="array"))
+        sb_arr.stats = load_stats(arena_path)
+        queries = _queries()
+        assert sb_obj.estimate_batch(queries) == sb_arr.estimate_batch(queries)
+
+    def test_describe_stats_file(self, built, arena_path, tmp_path):
+        v1_path = str(tmp_path / "d.npz")
+        save_stats(built.stats, v1_path)
+        v1_info = describe_stats_file(v1_path)
+        arena_info = describe_stats_file(arena_path)
+        assert v1_info["format"] == "v1" and not v1_info["zero_copy"]
+        assert arena_info["format"] == "arena" and arena_info["zero_copy"]
+        # Same logical content: identical function / bloom / relation counts.
+        for key in ("piecewise_functions", "bloom_filters", "relations"):
+            assert v1_info[key] == arena_info[key]
+
+    def test_save_rejects_unknown_format(self, built, tmp_path):
+        with pytest.raises(ValueError):
+            save_stats(built.stats, str(tmp_path / "x"), stats_format="v7")
+
+
+class TestZeroCopy:
+    def test_magic_sniffing(self, arena_path, built, tmp_path):
+        v1_path = str(tmp_path / "stats.npz")
+        save_stats(built.stats, v1_path)
+        assert is_arena_file(arena_path)
+        assert not is_arena_file(v1_path)
+        assert not is_arena_file(str(tmp_path / "missing.sba"))
+
+    def test_lazy_relation_materialization(self, arena_path):
+        stats = load_stats(arena_path)
+        assert stats.relations.materialized == []
+        rel = stats.relations["fact"]
+        assert stats.relations.materialized == ["fact"]
+        assert rel.join_stats  # fully usable once materialized
+        # Re-access returns the same object, not a fresh materialization.
+        assert stats.relations["fact"] is rel
+
+    def test_concurrent_materialization_is_race_free(self, arena_path):
+        """Regression: two threads racing to materialise the same pending
+        relation used to double-pop the manifest entry, crashing the loser
+        with KeyError — exactly the serving-thread vs staleness-poller
+        shape on a freshly refreshed store."""
+        import threading
+
+        for _ in range(20):
+            stats = load_stats(arena_path)
+            barrier = threading.Barrier(4)
+            errors = []
+
+            def reader():
+                barrier.wait()
+                try:
+                    # Same walk a staleness poll / bound batch performs.
+                    stats.max_padding_overhead()
+                    assert stats.relations["fact"].join_stats
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            # All threads observed one shared materialization.
+            assert stats.relations["fact"] is stats.relations["fact"]
+
+    def test_views_are_readonly_slices_of_the_mapping(self, arena_path):
+        stats = load_stats(arena_path)
+        base = stats.relations["fact"].join_stats["dim_id"].base
+        assert not base.xs.flags.writeable
+        assert not base.ys.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            base.xs[0] = 123.0
+        # The view chains back to one shared memmap, not a private copy.
+        root = base.xs
+        while not isinstance(root, np.memmap) and isinstance(root.base, np.ndarray):
+            root = root.base
+        assert isinstance(root, np.memmap)
+
+    def test_arena_slices_tagged_for_the_kernel(self, arena_path):
+        stats = load_stats(arena_path)
+        base = stats.relations["fact"].join_stats["dim_id"].base
+        arena, index = base._arena_slice
+        assert isinstance(arena, StatsArena)
+        assert np.array_equal(arena.pl(index).xs, base.xs)
+
+    def test_bloom_filters_lazy_and_equivalent(self, built, arena_path, tmp_path):
+        v1_path = str(tmp_path / "stats.npz")
+        save_stats(built.stats, v1_path)
+        v1 = load_stats(v1_path)
+        arena = load_stats(arena_path)
+        checked = 0
+        for name, rel in v1.relations.items():
+            rel2 = arena.relations[name]
+            for col, js in rel.join_stats.items():
+                for fcol, fstats in js.filters.items():
+                    if fstats.equality is None or fstats.equality.blooms is None:
+                        continue
+                    blooms2 = rel2.join_stats[col].filters[fcol].equality.blooms
+                    for b1, b2 in zip(fstats.equality.blooms, blooms2):
+                        assert isinstance(b2, ArenaBloomFilter)
+                        assert np.array_equal(b1.bits, b2.bits)
+                        checked += 1
+        assert checked > 0
+        with pytest.raises(TypeError):
+            b2.add("new-value")
+
+
+class TestCopyOnWrite:
+    def test_mutation_never_writes_through_the_mmap(self, tiny_db, arena_path, tmp_path):
+        """apply_insert / apply_delete on arena-backed stats must leave the
+        file untouched: padding materializes fresh private arrays."""
+        before = _file_sha(arena_path)
+        sb = SafeBound.load(arena_path, tiny_db)
+        rows = {
+            "id": np.arange(700000, 700040),
+            "dim_id": np.arange(40) % 300,
+            "score": np.zeros(40, dtype=np.int64),
+            "tag": np.zeros(40, dtype=np.int64),
+        }
+        sb.apply_insert("fact", rows)
+        sb.apply_delete("fact", {k: v[:5] for k, v in rows.items()})
+        for q in _queries():
+            assert np.isfinite(sb.bound(q))
+        assert _file_sha(arena_path) == before
+
+    def test_mutated_arena_stats_match_mutated_v1_stats(self, tiny_db, built, tmp_path):
+        """The same mutation stream over arena- and v1-loaded twins of one
+        archive yields bit-identical bounds (the lazy view mode changes
+        representation, never semantics)."""
+        v1_path = str(tmp_path / "twin.npz")
+        arena_p = str(tmp_path / "twin.sba")
+        built.save(v1_path)
+        built.save(arena_p, stats_format="arena")
+        twins = [SafeBound.load(v1_path, tiny_db), SafeBound.load(arena_p, tiny_db)]
+        rows = {
+            "id": np.arange(800000, 800060),
+            "dim_id": np.arange(60) % 300,
+            "score": np.ones(60, dtype=np.int64),
+            "tag": np.zeros(60, dtype=np.int64),
+        }
+        for sb in twins:
+            sb.apply_insert("fact", rows)
+        for q in _queries():
+            assert twins[0].bound(q) == twins[1].bound(q)
+
+    def test_pending_update_state_roundtrips_under_arena(self, tiny_db, tmp_path):
+        """Mid-update-cycle state (pending_inserts, stale_dims) survives an
+        arena save/load cycle and keeps bounds sound."""
+        sb = SafeBound()
+        sb.build(tiny_db)
+        sb.apply_insert("fact", {
+            "id": np.arange(100000, 100050),
+            "dim_id": np.arange(50) % 300,
+            "score": np.zeros(50, dtype=np.int64),
+            "tag": np.zeros(50, dtype=np.int64),
+        })
+        sb.apply_insert("dim", {
+            "id": np.array([90000]),
+            "year": np.array([1999]),
+            "kind": np.array([0]),
+            "name": np.array(["zeta"], dtype=object),
+        })
+        path = str(tmp_path / "pending.sba")
+        sb.save(path, stats_format="arena")
+        reloaded = SafeBound.load(path)
+        fact = reloaded.stats.relations["fact"]
+        assert fact.pending_inserts == 50
+        assert fact.stale_dims == {"dim"}
+        assert fact.join_stats["dim_id"].pending_inserts == 50
+        for q in _queries():
+            assert reloaded.bound(q) == sb.bound(q)
+        # A second round trip (save the lazily loaded store again) is
+        # stable: the mapped views re-serialise losslessly.
+        again = str(tmp_path / "pending2.sba")
+        save_stats(reloaded.stats, again, stats_format="arena")
+        assert stats_digest(load_stats(again)) == stats_digest(sb.stats)
+
+
+class TestDigestFormatIndependence:
+    def test_digest_identical_across_formats(self, built, arena_path, tmp_path):
+        """The satellite bugfix contract: one store, three representations
+        (in-memory, v1-loaded, arena-loaded), one digest."""
+        v1_path = str(tmp_path / "stats.npz")
+        save_stats(built.stats, v1_path)
+        d_mem = stats_digest(built.stats)
+        d_v1 = stats_digest(load_stats(v1_path))
+        d_arena = stats_digest(load_stats(arena_path))
+        assert d_mem == d_v1 == d_arena
+
+
+class TestKernelPacking:
+    def test_from_functions_gathers_arena_slices(self, arena_path):
+        stats = load_stats(arena_path)
+        funcs = []
+        for rel in stats.relations.values():
+            for js in rel.join_stats.values():
+                funcs.append(js.base)
+            funcs.extend(rel.fallback_cds.values())
+        assert all(hasattr(f, "_arena_slice") for f in funcs)
+        fast = ak.Ragged.from_functions(funcs)
+        generic = ak.Ragged.from_functions(
+            [type(f)(f.xs.copy(), f.ys.copy()) for f in funcs]
+        )
+        assert np.array_equal(fast.xs, generic.xs)
+        assert np.array_equal(fast.ys, generic.ys)
+        assert np.array_equal(fast.offsets, generic.offsets)
+
+    def test_from_functions_mixed_batch_falls_back(self, arena_path):
+        from repro.core.piecewise import PiecewiseLinear
+
+        stats = load_stats(arena_path)
+        view = stats.relations["fact"].join_stats["dim_id"].base
+        plain = PiecewiseLinear(np.array([0.0, 2.0]), np.array([0.0, 5.0]))
+        packed = ak.Ragged.from_functions([view, plain, view])
+        assert packed.batch == 3
+        assert np.array_equal(packed.segment_arrays(0)[0], view.xs)
+        assert np.array_equal(packed.segment_arrays(1)[0], plain.xs)
+
+
+class TestGoldenCorpusViaArena:
+    def test_stats_ceb_golden_digest_from_arena_backed_stats(self, tmp_path):
+        """The committed golden corpus passes bit-identically when the
+        bounds are served from an arena round trip of the statistics."""
+        import json
+
+        from golden_corpus import digest_bounds, golden_path
+        from repro.workloads import make_stats_ceb
+
+        workload = make_stats_ceb(scale=0.05, num_queries=30, seed=7)
+        sb = SafeBound(SafeBoundConfig())
+        sb.build(workload.db)
+        path = str(tmp_path / "golden.sba")
+        sb.save(path, stats_format="arena")
+        served = SafeBound.load(path)
+        bounds = served.estimate_batch(workload.queries)
+        fresh = {q.name: float(b).hex() for q, b in zip(workload.queries, bounds)}
+        stored = json.loads(golden_path("stats_ceb").read_text())
+        assert fresh == stored["bounds"]
+        assert digest_bounds(fresh) == stored["digest"]

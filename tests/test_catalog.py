@@ -44,19 +44,61 @@ class TestStatsCatalog:
         published = catalog.publish("db1", built.stats, note="initial")
         assert published.version == 1
         assert published.label == "v000001"
-        assert (tmp_path / "db1" / "v000001.npz").exists()
+        assert published.format == "arena"
+        assert (tmp_path / "db1" / "v000001.sba").exists()
         manifest = json.loads((tmp_path / "db1" / "MANIFEST.json").read_text())
         assert [e["version"] for e in manifest["versions"]] == [1]
         assert manifest["versions"][0]["note"] == "initial"
         assert manifest["versions"][0]["file_bytes"] > 0
+        assert manifest["versions"][0]["format"] == "arena"
         assert manifest["versions"][0]["num_sequences"] == built.stats.num_sequences()
 
     def test_publish_leaves_no_temporaries(self, built, tmp_path):
         catalog = StatsCatalog(tmp_path)
         catalog.publish("db1", built.stats)
-        catalog.publish("db1", built.stats)
+        catalog.publish("db1", built.stats, stats_format="v1")
         names = {p.name for p in (tmp_path / "db1").iterdir()}
-        assert names == {"MANIFEST.json", "v000001.npz", "v000002.npz"}
+        assert names == {"MANIFEST.json", "v000001.sba", "v000002.npz"}
+
+    def test_publish_formats_interoperate_with_identical_digest(
+        self, built, tiny_db, tmp_path
+    ):
+        """One version history can mix v1 and arena archives; the recorded
+        content digest is format-independent, and both load back to
+        bit-identical bounds."""
+        from repro.core.serialization import stats_digest
+
+        catalog = StatsCatalog(tmp_path)
+        v1 = catalog.publish("db1", built.stats, stats_format="v1")
+        v2 = catalog.publish("db1", built.stats, stats_format="arena")
+        assert v1.format == "v1" and v1.filename.endswith(".npz")
+        assert v2.format == "arena" and v2.filename.endswith(".sba")
+        digest = stats_digest(built.stats)
+        assert v1.metadata["stats_digest"] == digest
+        assert v2.metadata["stats_digest"] == digest
+        for version in (1, 2):
+            sb = SafeBound(built.config)
+            sb.stats = catalog.load("db1", version, fresh=True)
+            for q in _queries():
+                assert sb.bound(q) == built.bound(q)
+
+    def test_publish_rejects_unknown_format(self, built, tmp_path):
+        with pytest.raises(ValueError):
+            StatsCatalog(tmp_path).publish("db1", built.stats, stats_format="v3")
+
+    def test_version_info_and_archive_path(self, built, tmp_path):
+        catalog = StatsCatalog(tmp_path)
+        catalog.publish("db1", built.stats, note="first")
+        catalog.publish("db1", built.stats, note="second")
+        latest = catalog.version_info("db1")
+        assert latest.version == 2 and latest.note == "second"
+        first = catalog.version_info("db1", 1)
+        assert first.note == "first"
+        assert catalog.archive_path(first).exists()
+        with pytest.raises(LookupError):
+            catalog.version_info("db1", 99)
+        with pytest.raises(LookupError):
+            catalog.version_info("nope")
 
     def test_versions_monotonic_and_latest(self, built, tmp_path):
         catalog = StatsCatalog(tmp_path)
@@ -118,6 +160,61 @@ class TestStatsCatalog:
         catalog.unpin("db1", 1)
         catalog.load("db1", 2)
         assert ("db1", 1) not in catalog.loaded_versions()
+
+    def test_pin_never_evicts_its_own_version(self, built, tmp_path):
+        """Regression: ``pin`` used to register the pin only *after*
+        ``load`` had inserted (and possibly evicted!) the version — when
+        every older cache entry was pinned, the eviction pass removed the
+        version being pinned, stranding a pinned-but-unloaded entry that
+        later loads re-read from disk."""
+        catalog = StatsCatalog(tmp_path, max_loaded=1)
+        for _ in range(3):
+            catalog.publish("db1", built.stats)
+        first = catalog.pin("db1", 1)   # fills the cache, pinned
+        second = catalog.pin("db1", 2)  # over capacity: must not evict v2 itself
+        assert ("db1", 1) in catalog.loaded_versions()
+        assert ("db1", 2) in catalog.loaded_versions()
+        # Both pinned versions stay cached (identity, not a disk re-read).
+        assert catalog.load("db1", 1) is first
+        assert catalog.load("db1", 2) is second
+        # Unpinning drains the over-capacity cache back below the limit.
+        catalog.unpin("db1", 1)
+        catalog.unpin("db1", 2)
+        assert len(catalog.loaded_versions()) <= catalog.max_loaded
+        assert catalog._pins == {}
+
+    def test_pin_unpin_evict_interleavings(self, built, tmp_path):
+        """The cache invariant — ``len(loaded) <= max_loaded + #pinned`` —
+        holds across arbitrary pin/load/unpin interleavings, and unpinned
+        versions never linger past ``max_loaded`` after the next evict."""
+        catalog = StatsCatalog(tmp_path, max_loaded=2)
+        for _ in range(5):
+            catalog.publish("db1", built.stats)
+
+        def check():
+            assert len(catalog.loaded_versions()) <= catalog.max_loaded + len(
+                catalog._pins
+            )
+
+        catalog.pin("db1", 1); check()
+        catalog.load("db1", 2); check()
+        catalog.load("db1", 3); check()
+        catalog.pin("db1", 4); check()
+        catalog.pin("db1", 4); check()  # second pin of the same version
+        catalog.load("db1", 5); check()
+        catalog.unpin("db1", 4); check()
+        assert ("db1", 4) in catalog.loaded_versions()  # still pinned once
+        catalog.unpin("db1", 4); check()
+        catalog.unpin("db1", 1); check()
+        assert len(catalog.loaded_versions()) <= catalog.max_loaded
+        assert catalog._pins == {}
+
+    def test_pin_missing_version_leaves_no_pin(self, built, tmp_path):
+        catalog = StatsCatalog(tmp_path)
+        catalog.publish("db1", built.stats)
+        with pytest.raises(LookupError):
+            catalog.pin("db1", 42)
+        assert catalog._pins == {}
 
 
 class TestCatalogBackedSafeBound:
