@@ -63,6 +63,7 @@ __all__ = [
     "batch_pointwise_sum",
     "batch_concave_envelope",
     "batch_concave_max",
+    "batch_truncate_total",
     "compile_array_program",
     "evaluate_bounds",
 ]
@@ -696,6 +697,57 @@ def batch_concave_max(parts: list[Ragged]) -> Ragged:
     g_vals, g_off = _batch_combined_grid(parts, ends)
     ys = np.max(np.vstack([_seg_interp(g_vals, g_off, p) for p in parts]), axis=0)
     return batch_concave_envelope(Ragged(*_seg_dedupe_pl(g_vals, ys, g_off)))
+
+
+def batch_truncate_total(f: Ragged, totals: np.ndarray) -> Ragged:
+    """Batched ``PiecewiseLinear.truncate_total``: cap segment ``i`` at
+    ``totals[i]``, cutting the domain where the cap binds.
+
+    Segments split into the scalar method's three cases — cap above the
+    current total (unchanged), cap at/below the first value (single
+    capped breakpoint), and an interior cut at ``F⁻¹(total)`` — and each
+    class runs vectorized through the same ``_pseudo_inverse_core`` /
+    constructor-normalisation twins, so results are bit-identical.
+    """
+    totals = np.asarray(totals, dtype=float)
+    seg_total = _lasts(f.ys, f.offsets)
+    first_y = _firsts(f.ys, f.offsets)
+    unchanged = totals >= seg_total - _EPS
+    floor = ~unchanged & (totals <= first_y + _EPS)
+    cut = ~(unchanged | floor)
+    parts: list[tuple[np.ndarray, Ragged]] = []
+    ui = np.flatnonzero(unchanged)
+    if len(ui):
+        parts.append((ui, _gather_segments(f, ui)))
+    fi = np.flatnonzero(floor)
+    if len(fi):
+        starts = f.offsets[:-1][fi]
+        parts.append(
+            (
+                fi,
+                Ragged(
+                    f.xs[starts].copy(),
+                    np.minimum(f.ys[starts], totals[fi]),
+                    np.arange(len(fi) + 1, dtype=np.int64),
+                ),
+            )
+        )
+    ci = np.flatnonzero(cut)
+    if len(ci):
+        sub = _gather_segments(f, ci)
+        t = totals[ci]
+        # One query value per segment: offsets are just 0..len(ci).
+        ones = np.arange(len(ci) + 1, dtype=np.int64)
+        x_cut = _seg_inverse_values(t, ones, sub)
+        keep = sub.xs < (x_cut[sub.ids()] - _EPS)
+        kxs, koff = _filter_elements(sub.xs, sub.offsets, keep)
+        kys, _ = _filter_elements(sub.ys, sub.offsets, keep)
+        need = np.ones(len(ci), dtype=bool)
+        xs2, off2 = _append_where(kxs, koff, x_cut, need)
+        ys2, _ = _append_where(kys, koff, t, need)
+        ys2 = np.minimum(ys2, t[_ids_from_offsets(off2)])
+        parts.append((ci, Ragged(*_seg_dedupe_pl(xs2, ys2, off2))))
+    return _scatter_segments(parts, f.batch)
 
 
 # ----------------------------------------------------------------------

@@ -221,6 +221,13 @@ class FdsbEngine:
     # wins by 2x at >= 64).  Both kernels are bit-identical, so dispatch
     # only affects latency, never the bounds.
     ARRAY_MIN_WORK = 64
+    # Same idea for the conditioning stage upstream of the recursion:
+    # minimum number of cache-missing (table, effective predicate) pairs in
+    # a batch for SafeBound._prepare_conditioning to run the CSE'd batched
+    # conditioning kernels; below it, the per-object path (which fills the
+    # same caches with the same values) has lower fixed cost.  Only
+    # consulted when ``eval_kernel == "array"``.
+    ARRAY_MIN_CONDITION = 2
 
     def __init__(
         self,
@@ -233,6 +240,7 @@ class FdsbEngine:
         self.max_spanning_trees = max_spanning_trees
         self.eval_kernel = eval_kernel
         self.array_min_work = self.ARRAY_MIN_WORK
+        self.array_min_condition = self.ARRAY_MIN_CONDITION
         self._skeletons = LRUCache(skeleton_cache_size)
 
     # ------------------------------------------------------------------

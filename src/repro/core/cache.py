@@ -5,15 +5,26 @@ same (table, predicate) conditioning work and the same query *shapes*
 recur across subqueries and across workload queries.  Both caches must be
 bounded for a long-running service; a plain dict with an insert cap stops
 adapting once full, so eviction is least-recently-used.
+
+:class:`SharedConditionedCache` extends the reuse across *processes*: a
+fixed-size anonymous shared-memory segment holding content-digest-keyed
+blobs (packed conditioned CDSs), inherited by fork-pool serving workers
+so they amortise conditioning work instead of each paying it privately.
 """
 
 from __future__ import annotations
 
+import mmap
+import multiprocessing
+import os
+import struct
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
-__all__ = ["LRUCache"]
+import numpy as np
+
+__all__ = ["LRUCache", "SharedConditionedCache"]
 
 
 class LRUCache:
@@ -21,8 +32,8 @@ class LRUCache:
 
     Only the operations the estimation path needs: ``get`` (refreshes
     recency), item assignment (inserts or refreshes, evicting the oldest
-    entry past ``maxsize``), ``clear``, and hit/miss counters for
-    observability.
+    entry past ``maxsize``), ``get_or_compute`` (stampede-free fill),
+    ``clear``, and hit/miss counters for observability.
 
     Thread-safe: the estimation server shares one ``SafeBound`` (and hence
     its conditioning and skeleton caches) across worker threads, and the
@@ -31,7 +42,7 @@ class LRUCache:
     raise ``KeyError``, so every recency-mutating operation takes the lock.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_data", "_lock")
+    __slots__ = ("maxsize", "hits", "misses", "_data", "_lock", "_inflight")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize <= 0:
@@ -41,6 +52,7 @@ class LRUCache:
         self.misses = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
+        self._inflight: dict[Hashable, threading.Event] = {}
 
     def __len__(self) -> int:
         return len(self._data)
@@ -57,6 +69,55 @@ class LRUCache:
                 return default
             self._data.move_to_end(key)
             self.hits += 1
+            return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """``get`` without touching recency or the hit/miss counters (for
+        batch prefetch passes that will re-read the key for real)."""
+        with self._lock:
+            return self._data.get(key, default)
+
+    def get_or_compute(self, key: Hashable, fn: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss.
+
+        Per-key in-flight locking: when several threads miss the same key
+        at once, exactly one runs ``fn`` while the rest wait for its
+        result — without serialising computes of *different* keys and
+        without holding the cache lock during ``fn``.  If the owner's
+        ``fn`` raises, the exception propagates to the owner and waiting
+        threads retry (one of them becomes the next owner).
+        """
+        while True:
+            with self._lock:
+                try:
+                    value = self._data[key]
+                except KeyError:
+                    pass
+                else:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    return value
+                event = self._inflight.get(key)
+                if event is None:
+                    self.misses += 1
+                    event = self._inflight[key] = threading.Event()
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                event.wait()
+                continue  # re-check: value stored, evicted, or fn failed
+            try:
+                value = fn()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()  # waiters retry; one becomes the next owner
+                raise
+            self[key] = value  # store before waking waiters
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
             return value
 
     def __getitem__(self, key: Hashable) -> Any:
@@ -82,4 +143,216 @@ class LRUCache:
         return (
             f"LRUCache(maxsize={self.maxsize}, size={len(self._data)}, "
             f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Cross-process shared blob cache
+# ----------------------------------------------------------------------
+# Layout of the anonymous shared mmap:
+#   [magic 8s][counters 9 x u64][slot table][data region]
+# Counters (all cumulative except generation/used/entries):
+_GEN, _HITS, _MISSES, _SIBLING, _INSERTS, _FLUSHES, _STORED, _USED, _ENTRIES = range(9)
+_SHARED_MAGIC = b"SBCCACHE"
+_COUNTER_COUNT = 9
+_SLOT = struct.Struct("<16sQQI")  # digest, data offset, blob length, writer pid
+
+
+class SharedConditionedCache:
+    """A fixed-size shared-memory cache of content-digest-keyed blobs.
+
+    Built for the conditioned-CDS serving path: the parent process
+    creates it *before* forking the serving pool, so every worker maps
+    the same anonymous segment and a `(stats epoch, table, predicate)`
+    digest conditioned by one worker is a zero-recompute hit for its
+    siblings.  Payloads are opaque bytes (``pack_conditioned`` blobs).
+
+    Design choices, sized for that workload:
+
+    * **Open-addressing digest index + bump allocator.**  Entries are
+      immutable and content-addressed, so there is no update path; a
+      blob is written once at the allocation frontier and never moves.
+    * **Flush-all eviction.**  When the data region or slot table fills,
+      the whole cache is flushed (one counter bump + zeroed index).
+      Conditioning entries are cheap to recompute and heavily re-hit, so
+      generational flush beats per-entry LRU bookkeeping in shared
+      memory by a wide margin.
+    * **Generation tag.**  ``bump_generation`` flushes and increments a
+      shared epoch; callers fold the epoch they expect into the digest,
+      so stale entries from before a statistics refresh can never be
+      returned even across processes that have not observed the refresh.
+    * **Bounded lock waits.**  A cross-process mutex guards every
+      operation; if it cannot be acquired within ``lock_timeout``
+      seconds (a crashed holder, say), the operation degrades to a miss
+      / no-op instead of hanging the serving path.
+
+    The cache is inherited over ``fork`` only (same as the serving
+    pool): it deliberately has no pickle support.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        slots: int = 4096,
+        lock_timeout: float = 2.0,
+    ) -> None:
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        slots = 1 << (slots - 1).bit_length()  # round up to a power of two
+        header_bytes = len(_SHARED_MAGIC) + 8 * _COUNTER_COUNT
+        index_bytes = header_bytes + slots * _SLOT.size
+        if capacity_bytes <= index_bytes:
+            raise ValueError(
+                f"capacity_bytes={capacity_bytes} leaves no data room past "
+                f"the {index_bytes}-byte index (try fewer slots)"
+            )
+        self.slots = slots
+        self.capacity_bytes = capacity_bytes
+        self.lock_timeout = lock_timeout
+        self._slots_base = header_bytes
+        self._data_base = index_bytes
+        self._data_cap = capacity_bytes - index_bytes
+        self._mm = mmap.mmap(-1, capacity_bytes)  # anonymous, fork-shared
+        self._mm[: len(_SHARED_MAGIC)] = _SHARED_MAGIC
+        self._counters = np.frombuffer(
+            memoryview(self._mm),
+            dtype=np.uint64,
+            count=_COUNTER_COUNT,
+            offset=len(_SHARED_MAGIC),
+        )
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context()
+        self._lock = ctx.Lock()
+
+    # -- index internals (caller holds the lock) -----------------------
+    def _slot_offset(self, i: int) -> int:
+        return self._slots_base + i * _SLOT.size
+
+    def _probe(self, digest: bytes):
+        """Linear-probe for ``digest``: returns ``(slot index or None,
+        (offset, length, pid) or None)`` — the first empty slot when the
+        digest is absent, ``(None, None)`` when the table is full."""
+        mask = self.slots - 1
+        i = int.from_bytes(digest[:8], "little") & mask
+        for _ in range(self.slots):
+            d, offset, length, pid = _SLOT.unpack_from(self._mm, self._slot_offset(i))
+            if length == 0:
+                return i, None
+            if d == digest:
+                return i, (offset, length, pid)
+            i = (i + 1) & mask
+        return None, None
+
+    def _flush_locked(self) -> None:
+        zero = bytes(self.slots * _SLOT.size)
+        self._mm[self._slots_base : self._data_base] = zero
+        self._counters[_USED] = 0
+        self._counters[_ENTRIES] = 0
+        self._counters[_FLUSHES] += 1
+
+    # -- public API ----------------------------------------------------
+    def get(self, digest: bytes) -> bytes | None:
+        """The blob stored under ``digest``, or None.  A hit by a process
+        other than the writer also counts as a ``sibling_hit`` — the
+        cross-worker reuse the cache exists for."""
+        if not self._lock.acquire(timeout=self.lock_timeout):
+            return None
+        try:
+            _, entry = self._probe(digest)
+            if entry is None:
+                self._counters[_MISSES] += 1
+                return None
+            offset, length, pid = entry
+            self._counters[_HITS] += 1
+            if pid != os.getpid():
+                self._counters[_SIBLING] += 1
+            return bytes(self._mm[offset : offset + length])
+        finally:
+            self._lock.release()
+
+    def put(self, digest: bytes, blob: bytes) -> bool:
+        """Store ``blob`` under ``digest``; False if it can never fit or
+        the lock is contended.  Losing an insert race is success (the
+        sibling's bytes are identical by content addressing)."""
+        length = len(blob)
+        if length > self._data_cap:
+            return False
+        if not self._lock.acquire(timeout=self.lock_timeout):
+            return False
+        try:
+            slot, entry = self._probe(digest)
+            if entry is not None:
+                return True
+            used = int(self._counters[_USED])
+            # Keep the open-addressing table under 3/4 occupancy.
+            full = (
+                slot is None
+                or used + length > self._data_cap
+                or int(self._counters[_ENTRIES]) >= (self.slots * 3) // 4
+            )
+            if full:
+                self._flush_locked()
+                used = 0
+                slot, _ = self._probe(digest)
+            offset = self._data_base + used
+            self._mm[offset : offset + length] = blob
+            _SLOT.pack_into(
+                self._mm, self._slot_offset(slot), digest, offset, length, os.getpid()
+            )
+            self._counters[_USED] = used + length
+            self._counters[_ENTRIES] += 1
+            self._counters[_INSERTS] += 1
+            self._counters[_STORED] += length
+            return True
+        finally:
+            self._lock.release()
+
+    def flush(self) -> None:
+        """Drop every entry (counters other than occupancy survive)."""
+        if self._lock.acquire(timeout=self.lock_timeout):
+            try:
+                self._flush_locked()
+            finally:
+                self._lock.release()
+
+    def bump_generation(self) -> int:
+        """Flush and advance the shared generation (statistics refresh /
+        update invalidation); returns the new generation."""
+        if self._lock.acquire(timeout=self.lock_timeout):
+            try:
+                self._flush_locked()
+                self._counters[_GEN] += 1
+            finally:
+                self._lock.release()
+        return int(self._counters[_GEN])
+
+    @property
+    def generation(self) -> int:
+        return int(self._counters[_GEN])
+
+    def stats(self) -> dict:
+        """Shared counters (lock-free read: values may be a tick stale)."""
+        c = self._counters
+        return {
+            "generation": int(c[_GEN]),
+            "hits": int(c[_HITS]),
+            "misses": int(c[_MISSES]),
+            "sibling_hits": int(c[_SIBLING]),
+            "insertions": int(c[_INSERTS]),
+            "flushes": int(c[_FLUSHES]),
+            "stored_bytes": int(c[_STORED]),
+            "data_bytes_used": int(c[_USED]),
+            "entries": int(c[_ENTRIES]),
+            "capacity_bytes": self.capacity_bytes,
+            "slots": self.slots,
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"SharedConditionedCache(capacity={self.capacity_bytes}, "
+            f"entries={s['entries']}, hits={s['hits']}, "
+            f"sibling_hits={s['sibling_hits']}, generation={s['generation']})"
         )

@@ -20,17 +20,23 @@ Bloom filters (Sec 4.3) replace the MCV dictionaries.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from . import arraykernel
+from .arena import pl_view
+from .arraykernel import Ragged
 from .bloom import BloomFilter
 from .clustering import cluster_cds, group_maxima
 from .compression import reduce_cds_segments, valid_compress
 from .degree_sequence import DegreeSequence
 from .piecewise import (
+    _EPS,
     PiecewiseLinear,
     concave_envelope,
+    concave_max,
     pointwise_min,
     pointwise_sum,
 )
@@ -49,6 +55,13 @@ __all__ = [
     "equi_depth_boundaries",
     "pair_group_sequences",
     "max_cds_over_groups",
+    "evaluate_expr",
+    "evaluate_exprs_array",
+    "condition_cds_batch",
+    "condition_relations_batch",
+    "fill_truncations_batch",
+    "pack_conditioned",
+    "unpack_conditioned",
 ]
 
 _PL_BYTES_PER_BREAKPOINT = 16  # two float64 per breakpoint
@@ -187,6 +200,32 @@ def _cds_of_frequencies(freqs: np.ndarray, config: ConditioningConfig) -> Piecew
 
 
 # ----------------------------------------------------------------------
+# Conditioning expressions
+# ----------------------------------------------------------------------
+# A conditioning *expression* is either a stored ``PiecewiseLinear`` leaf
+# or an interior node ``(kind, children)`` with kind in {"min", "sum",
+# "cmax"} and ``children`` a tuple of expressions.  Lookups build the
+# expression; evaluation is pluggable: per-object (below, the oracle) or
+# batched across many expressions (``evaluate_exprs_array``).
+def evaluate_expr(expr) -> PiecewiseLinear:
+    """Evaluate one conditioning expression with the scalar pointwise ops.
+
+    A leaf evaluates to itself, so pure-lookup predicates keep returning
+    the stored statistics objects (identity matters: the bound engine
+    dedupes repeated query instantiations by CDS identity).
+    """
+    if not isinstance(expr, tuple):
+        return expr
+    kind, children = expr
+    parts = [evaluate_expr(child) for child in children]
+    if kind == "min":
+        return pointwise_min(parts)
+    if kind == "sum":
+        return pointwise_sum(parts)
+    return concave_max(parts)
+
+
+# ----------------------------------------------------------------------
 # Equality predicates: MCV lists
 # ----------------------------------------------------------------------
 @dataclass
@@ -198,7 +237,11 @@ class EqualityStats:
     value_to_group: dict | None = None
     blooms: list[BloomFilter] | None = None
 
-    def lookup(self, value) -> PiecewiseLinear:
+    def lookup_expr(self, value):
+        """Conditioning expression for ``column = value``: a stored CDS
+        leaf, or a ``cmax`` node when several Bloom groups claim the
+        value (false positives included — any of them might hold it, so
+        the max is still a sound bound)."""
         value = _canonical_value(value)
         if self.blooms is not None:
             positive = [
@@ -208,15 +251,14 @@ class EqualityStats:
                 return self.default_cds
             if len(positive) == 1:
                 return positive[0]
-            # Several groups match (false positives included): any of them
-            # might hold the value, so take the max — still a sound bound.
-            from .piecewise import concave_max
-
-            return concave_max(positive)
+            return ("cmax", tuple(positive))
         group = (self.value_to_group or {}).get(value)
         if group is None:
             return self.default_cds
         return self.reps[group]
+
+    def lookup(self, value) -> PiecewiseLinear:
+        return evaluate_expr(self.lookup_expr(value))
 
     def memory_bytes(self) -> int:
         total = sum(_PL_BYTES_PER_BREAKPOINT * len(r.xs) for r in self.reps)
@@ -288,15 +330,15 @@ class HistogramStats:
     bucket_group: dict[tuple[int, int], int]
     base: PiecewiseLinear
 
-    def lookup(self, low, high) -> PiecewiseLinear:
-        """CDS bound for a range predicate over ``[low, high]``.
+    def lookup_expr(self, low, high):
+        """Conditioning expression for a range predicate over ``[low, high]``.
 
         Primary rule (paper, Sec 3.2): the smallest single bucket fully
         containing the range.  Refinement: ranges that straddle a bucket
         boundary at every level would otherwise fall back to the whole
         column; instead we also consider the *sum* of the two adjacent
         covering buckets at the deepest level (sound: the matching rows are
-        a subset of their union) and return the pointwise minimum of all
+        a subset of their union) and take the pointwise minimum of all
         candidates, capped by the unconditioned CDS.
         """
         lo = self.boundaries[0] if low is None else low
@@ -304,7 +346,7 @@ class HistogramStats:
         fine = len(self.boundaries) - 2  # max finest bucket index
         b_lo = int(np.clip(np.searchsorted(self.boundaries, lo, "right") - 1, 0, fine))
         b_hi = int(np.clip(np.searchsorted(self.boundaries, hi, "right") - 1, 0, fine))
-        candidates: list[PiecewiseLinear] = [self.base]
+        candidates: list = [self.base]
         pair_candidate_found = False
         for level in range(self.levels, 0, -1):
             shift = self.levels - level
@@ -318,13 +360,14 @@ class HistogramStats:
                 g_lo = self.bucket_group.get((level, c_lo))
                 g_hi = self.bucket_group.get((level, c_hi))
                 if g_lo is not None and g_hi is not None:
-                    candidates.append(
-                        pointwise_sum([self.reps[g_lo], self.reps[g_hi]])
-                    )
+                    candidates.append(("sum", (self.reps[g_lo], self.reps[g_hi])))
                     pair_candidate_found = True
         if len(candidates) == 1:
             return self.base
-        return pointwise_min(candidates)
+        return ("min", tuple(candidates))
+
+    def lookup(self, low, high) -> PiecewiseLinear:
+        return evaluate_expr(self.lookup_expr(low, high))
 
     def memory_bytes(self) -> int:
         total = self.boundaries.nbytes
@@ -406,12 +449,17 @@ class TrigramStats:
     no_common_gram_cds: PiecewiseLinear
     base: PiecewiseLinear
 
-    def lookup(self, pattern: str, mode: str = "base") -> PiecewiseLinear:
+    def lookup_expr(self, pattern: str, mode: str = "base"):
+        """Conditioning expression for ``LIKE pattern``: pointwise min over
+        the pattern's known 3-grams, or the configured fallback."""
         grams = trigrams(pattern)
         found = [self.reps[self.gram_to_group[g]] for g in grams if g in self.gram_to_group]
         if found:
-            return pointwise_min(found) if len(found) > 1 else found[0]
+            return ("min", tuple(found)) if len(found) > 1 else found[0]
         return self.no_common_gram_cds if mode == "nogram" else self.base
+
+    def lookup(self, pattern: str, mode: str = "base") -> PiecewiseLinear:
+        return evaluate_expr(self.lookup_expr(pattern, mode))
 
     def memory_bytes(self) -> int:
         total = sum(_PL_BYTES_PER_BREAKPOINT * len(r.xs) for r in self.reps)
@@ -552,28 +600,41 @@ class JoinColumnStats:
     # ------------------------------------------------------------------
     def condition(self, predicate: Predicate | None) -> PiecewiseLinear:
         """The CDS of this join column conditioned on a predicate tree."""
-        if predicate is None:
-            return self._unconditioned()
-        cds = self._condition_node(predicate)
-        if cds is None:
+        expr = self.condition_expr(predicate)
+        if expr is None:
             # No usable filter information: same as unconditioned, so the
             # (possibly self-recompressed, tighter) incremental CDS applies.
             return self._unconditioned()
-        return pad_cds(cds, self.pending_inserts)
+        return pad_cds(evaluate_expr(expr), self.pending_inserts)
 
     def _unconditioned(self) -> PiecewiseLinear:
         if self.incremental is not None:
             return self.incremental.cds
         return pad_cds(self.base, self.pending_inserts)
 
-    def _condition_node(self, node: Predicate) -> PiecewiseLinear | None:
+    def condition_expr(self, predicate: Predicate | None):
+        """The conditioning *expression* for ``predicate``: a tree of
+        ``("min" | "sum" | "cmax", children)`` nodes over stored-CDS
+        leaves, or ``None`` for "no usable filter information".
+
+        Both evaluation paths consume the same expression —
+        :func:`evaluate_expr` walks it with the scalar pointwise ops,
+        :func:`condition_cds_batch` compiles many expressions at once into
+        level-scheduled segmented kernel calls with CSE — which is what
+        keeps the two paths bit-identical by construction.
+        """
+        if predicate is None:
+            return None
+        return self._condition_node(predicate)
+
+    def _condition_node(self, node: Predicate):
         """None means "no information" (treated as the unconditioned CDS)."""
         if isinstance(node, And):
             parts = [self._condition_node(c) for c in node.children]
             parts = [p for p in parts if p is not None]
             if not parts:
                 return None
-            return pointwise_min(parts) if len(parts) > 1 else parts[0]
+            return ("min", tuple(parts)) if len(parts) > 1 else parts[0]
         if isinstance(node, (Or, InList)):
             children = (
                 node.as_disjunction().children if isinstance(node, InList) else node.children
@@ -581,23 +642,23 @@ class JoinColumnStats:
             parts = [self._condition_node(c) for c in children]
             if any(p is None for p in parts) or not parts:
                 return None  # one unknown disjunct could select anything
-            summed = pointwise_sum(parts)
-            return pointwise_min([summed, self.base])
+            summed = ("sum", tuple(parts)) if len(parts) > 1 else parts[0]
+            return ("min", (summed, self.base))
         if isinstance(node, Eq):
             stats = self.filters.get(node.column)
             if stats is None or stats.equality is None:
                 return None
-            return stats.equality.lookup(node.value)
+            return stats.equality.lookup_expr(node.value)
         if isinstance(node, Range):
             stats = self.filters.get(node.column)
             if stats is None or stats.histogram is None:
                 return None
-            return stats.histogram.lookup(node.low, node.high)
+            return stats.histogram.lookup_expr(node.low, node.high)
         if isinstance(node, Like):
             stats = self.filters.get(node.column)
             if stats is None or stats.trigram is None:
                 return None
-            return stats.trigram.lookup(node.pattern, self.like_default_mode)
+            return stats.trigram.lookup_expr(node.pattern, self.like_default_mode)
         return None
 
     def memory_bytes(self) -> int:
@@ -639,22 +700,264 @@ class ConditionedRelation:
         self._conditioned = conditioned
         self._bound_cds: dict[str, PiecewiseLinear] = {}
 
+    @classmethod
+    def from_conditioned(
+        cls, rel, conditioned: dict[str, PiecewiseLinear]
+    ) -> "ConditionedRelation":
+        """Assemble from per-join-column CDSs computed out of band (the
+        batched kernel path or a shared-cache read).  Runs the same
+        single-table min in the same ``join_stats`` order as ``__init__``,
+        so identical CDS values yield an identical relation."""
+        self = cls.__new__(cls)
+        self._rel = rel
+        single_table = float(rel.cardinality)
+        for jcol in rel.join_stats:
+            single_table = min(single_table, conditioned[jcol].total)
+        self.single_table = single_table
+        self._conditioned = conditioned
+        self._bound_cds = {}
+        return self
+
+    def _fallback_base(self, column: str) -> PiecewiseLinear:
+        base = self._conditioned.get(column)
+        if base is None:
+            # Undeclared join column (Sec 3.6): truncate its
+            # unconditioned CDS (padded for any pending inserts) to
+            # the single-table bound.
+            base = self._rel.padded_fallback(column)
+        if base is None:
+            base = PiecewiseLinear.from_breakpoints(
+                [(0.0, 0.0), (1.0, float(self._rel.cardinality))]
+            )
+        return base
+
     def cds_for(self, column: str) -> PiecewiseLinear:
         cds = self._bound_cds.get(column)
         if cds is None:
-            base = self._conditioned.get(column)
-            if base is None:
-                # Undeclared join column (Sec 3.6): truncate its
-                # unconditioned CDS (padded for any pending inserts) to
-                # the single-table bound.
-                base = self._rel.padded_fallback(column)
-            if base is None:
-                base = PiecewiseLinear.from_breakpoints(
-                    [(0.0, 0.0), (1.0, float(self._rel.cardinality))]
-                )
-            cds = base.truncate_total(self.single_table)
+            cds = self._fallback_base(column).truncate_total(self.single_table)
             self._bound_cds[column] = cds
         return cds
+
+
+# ----------------------------------------------------------------------
+# Batched (array-kernel) conditioning
+# ----------------------------------------------------------------------
+_EXPR_KERNELS = {
+    "min": arraykernel.batch_pointwise_min,
+    "sum": arraykernel.batch_pointwise_sum,
+    "cmax": arraykernel.batch_concave_max,
+}
+
+
+def evaluate_exprs_array(exprs: list) -> list[PiecewiseLinear]:
+    """Evaluate many conditioning expressions with the segmented kernels.
+
+    The forest is interned with common-subexpression elimination — leaves
+    by object identity, interior nodes by ``(kind, child ids)``, so the
+    same (relation, column, canonical-predicate) sub-tree appearing under
+    many queries/plans is computed once — then scheduled by dependency
+    level; every (level, kind, arity) group runs as one kernel call over
+    all expressions at once.  The kernels are the bit-identical twins of
+    the scalar pointwise ops and operand order is preserved node by node,
+    so results equal :func:`evaluate_expr` array-element for
+    array-element.
+    """
+    node_of: dict = {}
+    ops: list = []  # None for leaves, (kind, child_ids) for interior nodes
+    values: list = []  # PiecewiseLinear per node, filled level by level
+    levels: list[int] = []
+
+    def intern(expr) -> int:
+        if not isinstance(expr, tuple):
+            key = ("leaf", id(expr))
+            nid = node_of.get(key)
+            if nid is None:
+                nid = len(ops)
+                node_of[key] = nid
+                ops.append(None)
+                values.append(expr)
+                levels.append(0)
+            return nid
+        kind, children = expr
+        child_ids = tuple(intern(c) for c in children)
+        key = (kind, child_ids)
+        nid = node_of.get(key)
+        if nid is None:
+            nid = len(ops)
+            node_of[key] = nid
+            ops.append((kind, child_ids))
+            values.append(None)
+            levels.append(1 + max(levels[c] for c in child_ids))
+        return nid
+
+    roots = [intern(e) for e in exprs]
+    groups: dict[tuple[int, str, int], list[int]] = {}
+    for nid, op in enumerate(ops):
+        if op is not None:
+            groups.setdefault((levels[nid], op[0], len(op[1])), []).append(nid)
+    root_set = set(roots)
+    # Same-level nodes only depend on strictly lower levels, so sorted
+    # (level, kind, arity) order is a valid schedule.
+    for (_, kind, arity), nids in sorted(groups.items()):
+        parts = [
+            Ragged.from_functions([values[ops[nid][1][j]] for nid in nids])
+            for j in range(arity)
+        ]
+        out = _EXPR_KERNELS[kind](parts)
+        for k, nid in enumerate(nids):
+            xs, ys = out.segment_arrays(k)
+            if nid in root_set:
+                # Roots outlive the batch (they land in conditioning
+                # caches): copy them out of the shared group buffer.
+                values[nid] = pl_view(xs.copy(), ys.copy())
+            else:
+                values[nid] = pl_view(xs, ys)
+    return [values[r] for r in roots]
+
+
+def condition_cds_batch(
+    jobs: list[tuple[JoinColumnStats, Predicate | None]]
+) -> list[PiecewiseLinear]:
+    """``JoinColumnStats.condition`` over many jobs in shared kernel calls.
+
+    Leaf expressions (pure lookups) and no-information jobs stay on the
+    object path — they do no pointwise math, and identity of the stored
+    CDS objects must be preserved — while every interior expression joins
+    one CSE'd batched evaluation.
+    """
+    results: list[PiecewiseLinear | None] = [None] * len(jobs)
+    exprs: list = []
+    expr_slots: list[int] = []
+    for i, (jstats, predicate) in enumerate(jobs):
+        expr = jstats.condition_expr(predicate)
+        if expr is None:
+            results[i] = jstats._unconditioned()
+        elif not isinstance(expr, tuple):
+            results[i] = pad_cds(expr, jstats.pending_inserts)
+        else:
+            exprs.append(expr)
+            expr_slots.append(i)
+    if exprs:
+        for i, value in zip(expr_slots, evaluate_exprs_array(exprs)):
+            results[i] = pad_cds(value, jobs[i][0].pending_inserts)
+    return results
+
+
+def condition_relations_batch(pairs) -> list[ConditionedRelation]:
+    """:class:`ConditionedRelation` for many ``(relation statistics,
+    predicate)`` pairs, flattening all their join columns into one
+    :func:`condition_cds_batch` call."""
+    jobs: list[tuple[JoinColumnStats, Predicate | None]] = []
+    spans: list[tuple[object, list[str]]] = []
+    for rel, predicate in pairs:
+        jcols = list(rel.join_stats)
+        spans.append((rel, jcols))
+        jobs.extend((rel.join_stats[jcol], predicate) for jcol in jcols)
+    flat = condition_cds_batch(jobs)
+    out: list[ConditionedRelation] = []
+    pos = 0
+    for rel, jcols in spans:
+        conditioned = {jcol: flat[pos + k] for k, jcol in enumerate(jcols)}
+        pos += len(jcols)
+        out.append(ConditionedRelation.from_conditioned(rel, conditioned))
+    return out
+
+
+def fill_truncations_batch(
+    requests: list[tuple[ConditionedRelation, str]]
+) -> None:
+    """Populate ``cds_for``'s per-column truncation cache for many
+    ``(conditioned relation, join column)`` pairs in one
+    ``batch_truncate_total`` call.
+
+    The no-cut fast path stores the conditioned CDS object itself,
+    exactly like ``truncate_total``'s return-self branch, preserving the
+    identity-based deduplication downstream.
+    """
+    bases: list[PiecewiseLinear] = []
+    totals: list[float] = []
+    targets: list[tuple[ConditionedRelation, str]] = []
+    for conditioned_rel, column in requests:
+        if column in conditioned_rel._bound_cds:
+            continue
+        base = conditioned_rel._fallback_base(column)
+        total = conditioned_rel.single_table
+        if total >= base.total - _EPS:
+            conditioned_rel._bound_cds[column] = base
+        else:
+            bases.append(base)
+            totals.append(total)
+            targets.append((conditioned_rel, column))
+    if not bases:
+        return
+    out = arraykernel.batch_truncate_total(
+        Ragged.from_functions(bases), np.array(totals)
+    )
+    for k, (conditioned_rel, column) in enumerate(targets):
+        xs, ys = out.segment_arrays(k)
+        conditioned_rel._bound_cds[column] = pl_view(xs.copy(), ys.copy())
+
+
+# ----------------------------------------------------------------------
+# Conditioned-CDS wire format (shared cross-process cache payloads)
+# ----------------------------------------------------------------------
+_PACK_MAGIC = b"SBCC1\x00"
+_PACK_HEAD = struct.Struct("<dI")
+_PACK_ITEM = struct.Struct("<II")
+
+
+def pack_conditioned(conditioned_rel: ConditionedRelation) -> bytes:
+    """Serialise a ConditionedRelation into a flat blob for the shared
+    conditioned-CDS cache: the single-table bound plus every conditioned
+    join-column CDS as raw float64 breakpoints.  Truncations
+    (``_bound_cds``) are deliberately not stored — they are cheap batched
+    cuts of what is stored here and the reader recomputes them."""
+    parts = [
+        _PACK_MAGIC,
+        _PACK_HEAD.pack(
+            conditioned_rel.single_table, len(conditioned_rel._conditioned)
+        ),
+    ]
+    for jcol, cds in conditioned_rel._conditioned.items():
+        name = jcol.encode("utf-8")
+        xs = np.ascontiguousarray(cds.xs, dtype=np.float64)
+        ys = np.ascontiguousarray(cds.ys, dtype=np.float64)
+        parts.append(_PACK_ITEM.pack(len(name), len(xs)))
+        parts.append(name)
+        parts.append(xs.tobytes())
+        parts.append(ys.tobytes())
+    return b"".join(parts)
+
+
+def unpack_conditioned(rel, blob: bytes) -> ConditionedRelation:
+    """Rebuild a ConditionedRelation from :func:`pack_conditioned` output.
+
+    The stored floats are byte-exact, so the result equals the writer's
+    relation bit for bit; CDS arrays are zero-copy (read-only) views of
+    the blob, same as arena-resident statistics.
+    """
+    if blob[: len(_PACK_MAGIC)] != _PACK_MAGIC:
+        raise ValueError("corrupt conditioned-CDS blob")
+    off = len(_PACK_MAGIC)
+    single_table, count = _PACK_HEAD.unpack_from(blob, off)
+    off += _PACK_HEAD.size
+    conditioned: dict[str, PiecewiseLinear] = {}
+    for _ in range(count):
+        nlen, npts = _PACK_ITEM.unpack_from(blob, off)
+        off += _PACK_ITEM.size
+        name = blob[off : off + nlen].decode("utf-8")
+        off += nlen
+        xs = np.frombuffer(blob, dtype=np.float64, count=npts, offset=off)
+        off += 8 * npts
+        ys = np.frombuffer(blob, dtype=np.float64, count=npts, offset=off)
+        off += 8 * npts
+        conditioned[name] = pl_view(xs, ys)
+    out = ConditionedRelation.__new__(ConditionedRelation)
+    out._rel = rel
+    out.single_table = single_table
+    out._conditioned = conditioned
+    out._bound_cds = {}
+    return out
 
 
 # ----------------------------------------------------------------------

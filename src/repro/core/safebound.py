@@ -7,13 +7,21 @@ query and returns a guaranteed upper bound on its output cardinality.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from ..db.database import Database
 from ..db.query import Query
 from .bound import CompiledSkeleton, FdsbEngine
-from .cache import LRUCache
-from .conditioning import ConditionedRelation, ConditioningConfig
+from .cache import LRUCache, SharedConditionedCache
+from .conditioning import (
+    ConditionedRelation,
+    ConditioningConfig,
+    condition_relations_batch,
+    fill_truncations_batch,
+    pack_conditioned,
+    unpack_conditioned,
+)
 from .piecewise import PiecewiseLinear
 from .predicates import And, Eq, InList, Like, Or, Predicate, Range
 from .stats_builder import SafeBoundStats, build_statistics
@@ -38,6 +46,17 @@ class SafeBoundConfig:
     # Online-phase cache capacities (LRU-evicted).
     conditioning_cache_entries: int = 50_000
     skeleton_cache_entries: int = 4096
+    # Cross-process conditioned-CDS cache (core/cache.py
+    # SharedConditionedCache).  > 0 allocates a fixed-size anonymous
+    # shared-memory segment of that many bytes at construction time — i.e.
+    # *before* a serving pool forks — so every fork worker maps the same
+    # cache and conditioning work done by one worker is a hit for its
+    # siblings.  0 (the default) disables it; bounds are bit-identical
+    # either way.  ``slots`` bounds the entry count (rounded up to a power
+    # of two); when either the slot table or the data region fills, the
+    # whole segment is flushed (entries are cheap to recompute).
+    shared_conditioning_cache_bytes: int = 0
+    shared_conditioning_cache_slots: int = 4096
     # Attach per-join-column frequency counters at build time so
     # apply_insert/apply_delete can maintain the statistics between
     # recompress-and-republish cycles (see core/updates.py).
@@ -121,6 +140,14 @@ class SafeBound:
         # that race would permanently serve unpadded bounds.
         self._conditioning_cache = LRUCache(self.config.conditioning_cache_entries)
         self._stats_epoch = 0
+        # Optional cross-process tier under the LRU: digest-keyed packed
+        # ConditionedRelations in fork-shared memory (see SafeBoundConfig).
+        self._shared_conditioning: SharedConditionedCache | None = None
+        if self.config.shared_conditioning_cache_bytes > 0:
+            self._shared_conditioning = SharedConditionedCache(
+                self.config.shared_conditioning_cache_bytes,
+                slots=self.config.shared_conditioning_cache_slots,
+            )
 
     # ------------------------------------------------------------------
     # Offline phase
@@ -220,9 +247,14 @@ class SafeBound:
     def _invalidate_conditioning(self) -> None:
         # Advance the epoch before clearing: in-flight conditioning work
         # keyed to the old epoch can still be written afterwards but will
-        # never be read, and eventually falls out of the LRU.
+        # never be read, and eventually falls out of the LRU.  The shared
+        # tier folds the epoch into its digests, so bumping its generation
+        # (a flush) is belt-and-braces — stale blobs could not be read
+        # back even if they survived.
         self._stats_epoch += 1
         self._conditioning_cache.clear()
+        if self._shared_conditioning is not None:
+            self._shared_conditioning.bump_generation()
 
     def staleness(self) -> float:
         """Worst relative padding overhead across relations (0 when fresh)."""
@@ -250,23 +282,92 @@ class SafeBound:
         if self.stats is None:
             raise RuntimeError("SafeBound.build(db) must run before bound_batch()")
         skeletons: dict[tuple, CompiledSkeleton] = {}
-        items = []
+        prepared = []
         for query in queries:
             key = query.skeleton_key()
             skeleton = skeletons.get(key)
             if skeleton is None:
                 skeleton = self._engine.compile(query)
                 skeletons[key] = skeleton
-            column_cds, alias_cardinality = self._query_inputs(query)
+            prepared.append((query, skeleton, self._effective_predicates(query)))
+        self._prepare_conditioning(prepared)
+        items = []
+        for query, skeleton, effective in prepared:
+            column_cds, alias_cardinality = self._query_inputs(query, effective)
             items.append((skeleton, column_cds, alias_cardinality))
         return self._engine.bound_batch_compiled(items)
 
+    def _prepare_conditioning(self, prepared) -> None:
+        """Array-kernel warm-up: batch-condition every (table, effective
+        predicate) pair the batch needs that no cache tier holds, then
+        batch-truncate the requested join columns.
+
+        One CSE'd kernel schedule conditions the whole batch instead of
+        per-alias Python loops, and results land in the per-process LRU
+        (and the shared cross-process tier when configured) before
+        ``_query_inputs`` reads them back.  Purely a latency move: the
+        kernels are bit-identical twins of the object ops, so skipping
+        this method — the object kernel does — changes no bound.
+        """
+        if self._engine.eval_kernel != "array":
+            return
+        missing: dict[tuple, tuple[str, Predicate | None]] = {}
+        for query, _, effective in prepared:
+            for alias, tname in query.relations.items():
+                predicate = effective.get(alias)
+                cache_key = (self._stats_epoch, tname, repr(predicate))
+                if cache_key not in missing and cache_key not in self._conditioning_cache:
+                    missing[cache_key] = (tname, predicate)
+        shared = self._shared_conditioning
+        # Each missing key is a logical conditioning-cache miss that the
+        # prefetch is about to fill; count it so the counters read the
+        # same as the object path's lookup-then-insert sequence.
+        self._conditioning_cache.misses += len(missing)
+        to_compute: list[tuple[tuple, str, Predicate | None]] = []
+        for cache_key, (tname, predicate) in missing.items():
+            if shared is not None:
+                blob = shared.get(_conditioning_digest(cache_key))
+                if blob is not None:
+                    self._conditioning_cache[cache_key] = unpack_conditioned(
+                        self.stats.relations[tname], blob
+                    )
+                    continue
+            to_compute.append((cache_key, tname, predicate))
+        if len(to_compute) >= max(self._engine.array_min_condition, 1):
+            pairs = [(self.stats.relations[t], p) for _, t, p in to_compute]
+            for (cache_key, _, _), conditioned in zip(
+                to_compute, condition_relations_batch(pairs)
+            ):
+                self._conditioning_cache[cache_key] = conditioned
+                if shared is not None:
+                    shared.put(
+                        _conditioning_digest(cache_key), pack_conditioned(conditioned)
+                    )
+        # Anything still missing (a batch below the dispatch floor) falls
+        # through to the object path inside _conditioned_relation.
+        requests: list[tuple[ConditionedRelation, str]] = []
+        seen: set[tuple[int, str]] = set()
+        for query, _, effective in prepared:
+            for alias, tname in query.relations.items():
+                cache_key = (self._stats_epoch, tname, repr(effective.get(alias)))
+                conditioned = self._conditioning_cache.peek(cache_key)
+                if conditioned is None:
+                    continue
+                for col in query.join_columns_of(alias):
+                    rid = (id(conditioned), col)
+                    if rid not in seen and col not in conditioned._bound_cds:
+                        seen.add(rid)
+                        requests.append((conditioned, col))
+        if requests:
+            fill_truncations_batch(requests)
+
     def _query_inputs(
-        self, query: Query
+        self, query: Query, effective: dict[str, Predicate] | None = None
     ) -> tuple[dict[tuple[str, str], PiecewiseLinear], dict[str, float]]:
         """Conditioned CDSs and single-table bounds for one query, served
         from the (epoch-keyed) conditioning cache."""
-        effective = self._effective_predicates(query)
+        if effective is None:
+            effective = self._effective_predicates(query)
         column_cds: dict[tuple[str, str], PiecewiseLinear] = {}
         alias_cardinality: dict[str, float] = {}
         for alias, tname in query.relations.items():
@@ -280,11 +381,36 @@ class SafeBound:
         self, tname: str, predicate: Predicate | None
     ) -> ConditionedRelation:
         cache_key = (self._stats_epoch, tname, repr(predicate))
-        cached = self._conditioning_cache.get(cache_key)
-        if cached is None:
-            cached = ConditionedRelation(self.stats.relations[tname], predicate)
-            self._conditioning_cache[cache_key] = cached
-        return cached
+
+        def compute() -> ConditionedRelation:
+            shared = self._shared_conditioning
+            if shared is not None:
+                digest = _conditioning_digest(cache_key)
+                blob = shared.get(digest)
+                if blob is not None:
+                    return unpack_conditioned(self.stats.relations[tname], blob)
+            conditioned = ConditionedRelation(self.stats.relations[tname], predicate)
+            if shared is not None:
+                shared.put(digest, pack_conditioned(conditioned))
+            return conditioned
+
+        return self._conditioning_cache.get_or_compute(cache_key, compute)
+
+    def conditioning_cache_stats(self) -> dict:
+        """Hit/miss/byte counters of both conditioning-cache tiers (the
+        shared tier's counters aggregate across every fork worker)."""
+        cache = self._conditioning_cache
+        out: dict = {
+            "local": {
+                "entries": len(cache),
+                "capacity": cache.maxsize,
+                "hits": cache.hits,
+                "misses": cache.misses,
+            }
+        }
+        if self._shared_conditioning is not None:
+            out["shared"] = self._shared_conditioning.stats()
+        return out
 
     # Aliases so SafeBound satisfies the CardinalityEstimator protocol.
     def estimate(self, query: Query) -> float:
@@ -336,3 +462,12 @@ class SafeBound:
 
 def _conjoin(predicates: list[Predicate]) -> Predicate:
     return predicates[0] if len(predicates) == 1 else And(predicates)
+
+
+def _conditioning_digest(cache_key: tuple) -> bytes:
+    """16-byte content digest of an (epoch, table, repr(predicate)) cache
+    key — the shared tier's index key.  Folding the epoch in makes blobs
+    from before a statistics mutation unreachable by construction."""
+    epoch, tname, pred_repr = cache_key
+    payload = f"{epoch}\x1f{tname}\x1f{pred_repr}".encode()
+    return hashlib.blake2b(payload, digest_size=16).digest()

@@ -168,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
         "statistics mmap (>1 enables multi-process mode; incompatible "
         "with --updates, which needs a live single-process estimator)",
     )
+    parser.add_argument(
+        "--shared-cache-mb", type=float, default=0.0,
+        help="size (MiB) of the shared conditioned-CDS cache; allocated "
+        "before the serving pool forks, so workers reuse each other's "
+        "conditioning work (0 disables; bounds are identical either way)",
+    )
     args = parser.parse_args(argv)
     if args.num_workers > 1 and args.updates:
         parser.error("--num-workers > 1 serves a frozen statistics snapshot "
@@ -181,11 +187,16 @@ def main(argv: list[str] | None = None) -> int:
     else:
         root = args.catalog
 
+    shared_cache_bytes = int(args.shared_cache_mb * (1 << 20))
     try:
         catalog = StatsCatalog(root)
         estimator = CatalogBackedSafeBound(
             catalog, "demo",
-            SafeBoundConfig(track_updates=True, eval_kernel=args.eval_kernel),
+            SafeBoundConfig(
+                track_updates=True,
+                eval_kernel=args.eval_kernel,
+                shared_conditioning_cache_bytes=shared_cache_bytes,
+            ),
             stats_format=args.stats_format,
         )
         estimator.build(db)
@@ -203,7 +214,10 @@ def main(argv: list[str] | None = None) -> int:
             # workers inherit shared file-backed pages.
             estimator = CatalogBackedSafeBound(
                 catalog, "demo",
-                SafeBoundConfig(eval_kernel=args.eval_kernel),
+                SafeBoundConfig(
+                    eval_kernel=args.eval_kernel,
+                    shared_conditioning_cache_bytes=shared_cache_bytes,
+                ),
                 stats_format=args.stats_format,
             )
             estimator.refresh()
@@ -244,6 +258,11 @@ def main(argv: list[str] | None = None) -> int:
         report["catalog_versions"] = [v.label for v in catalog.versions("demo")]
         report["served_version"] = estimator.version
         report["staleness"] = round(estimator.staleness(), 4)
+        # Parent-side view of the conditioning caches; with a fork pool,
+        # the "shared" tier aggregates hits across every worker (the
+        # per-batch snapshot also appears under metrics.conditioning_cache).
+        report["conditioning_cache"] = estimator.conditioning_cache_stats()
+        report["shared_cache_mb"] = args.shared_cache_mb
         if args.updates:
             report["ingest"] = {
                 "inserted_rows": ingest.inserted_rows,

@@ -426,6 +426,11 @@ class CatalogBackedSafeBound(CardinalityEstimator):
     def staleness(self) -> float:
         return self._current().staleness()
 
+    def conditioning_cache_stats(self) -> dict:
+        """Conditioning-cache counters of the currently served version
+        (see :meth:`SafeBound.conditioning_cache_stats`)."""
+        return self._current().conditioning_cache_stats()
+
     def memory_bytes(self) -> int:
         with self._lock:
             return self._safebound.memory_bytes() if self._safebound else 0

@@ -65,6 +65,10 @@ class ServerMetrics:
         # (admission -> result), in seconds.
         self.queue_latency = LatencyRecorder()
         self.request_latency = LatencyRecorder()
+        # Optional callable returning the estimator's conditioning-cache
+        # counters (SafeBound.conditioning_cache_stats); set by the server
+        # when the estimator exposes one, sampled at snapshot time.
+        self.conditioning_source = None
 
     # ------------------------------------------------------------------
     def record_accepted(self) -> None:
@@ -119,4 +123,10 @@ class ServerMetrics:
         )
         counters["queue_latency"] = self.queue_latency.summary()
         counters["request_latency"] = self.request_latency.summary()
+        source = self.conditioning_source
+        if source is not None:
+            try:
+                counters["conditioning_cache"] = source()
+            except Exception:  # estimator mid-refresh / not built yet
+                pass
         return counters

@@ -155,6 +155,11 @@ class EstimationServer:
         self.refresh_seconds = refresh_seconds
         self.refresh_db = refresh_db
         self.metrics = metrics or ServerMetrics()
+        # Surface the estimator's conditioning-cache counters in metrics
+        # snapshots (the shared tier aggregates across fork workers).
+        stats_fn = getattr(estimator, "conditioning_cache_stats", None)
+        if callable(stats_fn):
+            self.metrics.conditioning_source = stats_fn
         self.num_workers = num_workers
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._thread: threading.Thread | None = None

@@ -76,6 +76,7 @@ def workload_pairs(small_imdb, small_stats):
             # Disable the cost-based small-batch dispatch so every test
             # below exercises the array engine, batch size notwithstanding.
             arr._engine.array_min_work = 0
+            arr._engine.array_min_condition = 0
             built[id(wl.db)] = arr
         obj = SafeBound(SafeBoundConfig(eval_kernel="object"))
         obj.stats = arr.stats  # the load()-style attach: same statistics
@@ -129,6 +130,32 @@ def test_duplicate_queries_dedupe_to_same_bounds(workload_pairs):
     expected = obj.estimate_batch(wl.queries)
     for i, q in enumerate(wl.queries):
         assert bounds[3 * i] == bounds[3 * i + 1] == bounds[3 * i + 2] == expected[i]
+
+
+@pytest.mark.parametrize(
+    "name", ["STATS-CEB", "JOB-Light", "JOB-LightRanges", "TPC-H"]
+)
+def test_shared_cache_bit_identical(workload_pairs, name):
+    """The shared conditioned-CDS tier must not change a single bit:
+    bounds are equal cold (populating the shared cache), and warm (the
+    per-process LRU cleared, every conditioning served from the shared
+    tier's packed blobs)."""
+    wl, arr, obj = workload_pairs[name]
+    sc = SafeBound(
+        SafeBoundConfig(eval_kernel="array", shared_conditioning_cache_bytes=8 << 20)
+    )
+    sc.stats = arr.stats
+    sc._engine.array_min_work = 0
+    sc._engine.array_min_condition = 0
+    expected = obj.estimate_batch(wl.queries)
+    assert sc.estimate_batch(wl.queries) == expected  # cold: fills shared
+    sc._conditioning_cache.clear()
+    assert sc.estimate_batch(wl.queries) == expected  # warm: reads shared
+    stats = sc._shared_conditioning.stats()
+    assert stats["insertions"] > 0 and stats["hits"] > 0
+    counters = sc.conditioning_cache_stats()
+    assert counters["shared"]["stored_bytes"] > 0
+    assert counters["local"]["misses"] > 0
 
 
 def test_eval_kernel_validation():
