@@ -43,11 +43,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import inc as _metric_inc
+from ..obs.tracing import span as _span
 from .piecewise import (
     _EPS,
     _interp_core,
     _pseudo_inverse_core,
 )
+
+# Pre-built metric names so the disabled instrumentation path pays no
+# string formatting (see repro.obs: one global load + None check).
+_OP_METRIC = {
+    kind: f"kernel.ops.{kind}"
+    for kind in ("inv", "delta", "comp", "const", "cw", "mul", "integral")
+}
+_OP_SPAN = {kind: f"kernel.{kind}" for kind in _OP_METRIC}
 
 __all__ = [
     "Ragged",
@@ -1008,16 +1018,18 @@ def evaluate_bounds(items: list[tuple]) -> np.ndarray:
         for kind, entries in jobs.items():
             if not entries:
                 continue
-            if kind == "comp":
-                outer = _concat_ragged([g.pre_vals[op[1]] for g, _, op in entries])
-                inner = _concat_ragged([g.edge_packs[op[2]] for g, _, op in entries])
-                chunks = _split_ragged(
-                    batch_compose(outer, inner), [g.rows for g, _, _ in entries]
-                )
-            else:
-                big = _concat_ragged([g.edge_packs[op[1]] for g, _, op in entries])
-                kernel = batch_inverse if kind == "inv" else batch_delta
-                chunks = _split_ragged(kernel(big), [g.rows for g, _, _ in entries])
+            _metric_inc(_OP_METRIC[kind], len(entries))
+            with _span(_OP_SPAN[kind]):
+                if kind == "comp":
+                    outer = _concat_ragged([g.pre_vals[op[1]] for g, _, op in entries])
+                    inner = _concat_ragged([g.edge_packs[op[2]] for g, _, op in entries])
+                    chunks = _split_ragged(
+                        batch_compose(outer, inner), [g.rows for g, _, _ in entries]
+                    )
+                else:
+                    big = _concat_ragged([g.edge_packs[op[1]] for g, _, op in entries])
+                    kernel = batch_inverse if kind == "inv" else batch_delta
+                    chunks = _split_ragged(kernel(big), [g.rows for g, _, _ in entries])
             for (g, reg, _), chunk in zip(entries, chunks):
                 g.pre_vals[reg] = chunk
 
@@ -1033,28 +1045,32 @@ def evaluate_bounds(items: list[tuple]) -> np.ndarray:
                         jobs.append((g, idx))
             if not jobs:
                 continue
-            if kind == "const":
-                ends = []
-                for g, idx in jobs:
-                    _, root, kid_edges = g.program.body_ops[idx]
-                    e = g.cards[:, root].copy()
-                    for ei in kid_edges:
-                        e = np.minimum(e, g.totals[ei])
-                    ends.append(e)
-                result = batch_constant(np.concatenate(ends))
-            else:
-                a = _concat_ragged([g.resolve(g.program.body_ops[idx][1]) for g, idx in jobs])
-                b = _concat_ragged([g.resolve(g.program.body_ops[idx][2]) for g, idx in jobs])
-                kernel = batch_compose_with if kind == "cw" else batch_multiply
-                result = kernel(a, b)
+            _metric_inc(_OP_METRIC[kind], len(jobs))
+            with _span(_OP_SPAN[kind]):
+                if kind == "const":
+                    ends = []
+                    for g, idx in jobs:
+                        _, root, kid_edges = g.program.body_ops[idx]
+                        e = g.cards[:, root].copy()
+                        for ei in kid_edges:
+                            e = np.minimum(e, g.totals[ei])
+                        ends.append(e)
+                    result = batch_constant(np.concatenate(ends))
+                else:
+                    a = _concat_ragged([g.resolve(g.program.body_ops[idx][1]) for g, idx in jobs])
+                    b = _concat_ragged([g.resolve(g.program.body_ops[idx][2]) for g, idx in jobs])
+                    kernel = batch_compose_with if kind == "cw" else batch_multiply
+                    result = kernel(a, b)
             for (g, idx), chunk in zip(jobs, _split_ragged(result, [g.rows for g, _ in jobs])):
                 g.body_vals[idx] = chunk
 
     # Integrals: every (group, slot) in one reduceat pass.
     jobs = [(g, slot, reg) for g in groups for slot, reg in enumerate(g.program.integrals)]
     if jobs:
-        big = _concat_ragged([g.resolve(reg) for g, _, reg in jobs])
-        sums = batch_integral(big)
+        _metric_inc(_OP_METRIC["integral"], len(jobs))
+        with _span(_OP_SPAN["integral"]):
+            big = _concat_ragged([g.resolve(reg) for g, _, reg in jobs])
+            sums = batch_integral(big)
         pos = 0
         for g, slot, _ in jobs:
             g.slot_vals[slot] = sums[pos : pos + g.rows]

@@ -34,6 +34,8 @@ import networkx as nx
 import numpy as np
 
 from ..db.query import Query
+from ..obs.metrics import inc as _metric_inc
+from ..obs.tracing import span as _span
 from .arraykernel import evaluate_bounds
 from .cache import LRUCache
 from .piecewise import PiecewiseConstant, PiecewiseLinear
@@ -250,8 +252,13 @@ class FdsbEngine:
         key = query.skeleton_key()
         skeleton = self._skeletons.get(key)
         if skeleton is None:
-            skeleton = compile_skeleton(query, self.max_spanning_trees)
+            with _span("bound.compile") as sp:
+                skeleton = compile_skeleton(query, self.max_spanning_trees)
+                sp.set(relations=len(skeleton.aliases), plans=len(skeleton.plans))
+            _metric_inc("skeleton.compiles")
             self._skeletons[key] = skeleton
+        else:
+            _metric_inc("skeleton.cache_hits")
         return skeleton
 
     def bound(
@@ -278,19 +285,32 @@ class FdsbEngine:
     ) -> float:
         """Upper bound for a query of ``skeleton``'s shape with the given
         predicate instantiation."""
+        return float(min(self.plan_bounds(skeleton, column_cds, alias_cardinality)))
+
+    def plan_bounds(
+        self,
+        skeleton: CompiledSkeleton,
+        column_cds: dict[tuple[str, str], PiecewiseLinear],
+        alias_cardinality: dict[str, float],
+    ) -> list[float]:
+        """The per-spanning-tree-plan bounds whose minimum is the query
+        bound — one entry per ``skeleton.plans`` element.  For acyclic
+        shapes the list has one entry; for cyclic shapes it is the
+        observability twin of the paper's spanning-tree analysis, showing
+        which tree drives (and which trees slacken) the reported bound."""
         edge_cds = self._select_edge_cds(skeleton, column_cds)
         cards = [
             float(alias_cardinality.get(alias, np.inf)) for alias in skeleton.aliases
         ]
-        best_bound = np.inf
+        bounds: list[float] = []
         for plan in skeleton.plans:
             total = 1.0
             for root in plan.roots:
                 total *= self._count_at_root(plan.children, root, edge_cds, cards)
                 if total == 0.0:
                     break
-            best_bound = min(best_bound, total)
-        return float(best_bound)
+            bounds.append(float(total))
+        return bounds
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -343,19 +363,23 @@ class FdsbEngine:
             )
             >= self.array_min_work
         ):
-            prepared = [
-                (
-                    skeleton,
-                    self._select_edge_cds(skeleton, column_cds),
-                    [float(cards.get(a, np.inf)) for a in skeleton.aliases],
-                )
+            _metric_inc("bound.array_queries", len(items))
+            with _span("bound.array_eval", items=len(items)):
+                prepared = [
+                    (
+                        skeleton,
+                        self._select_edge_cds(skeleton, column_cds),
+                        [float(cards.get(a, np.inf)) for a in skeleton.aliases],
+                    )
+                    for skeleton, column_cds, cards in items
+                ]
+                return [float(b) for b in evaluate_bounds(prepared)]
+        _metric_inc("bound.object_queries", len(items))
+        with _span("bound.object_eval", items=len(items)):
+            return [
+                self.bound_compiled(skeleton, column_cds, cards)
                 for skeleton, column_cds, cards in items
             ]
-            return [float(b) for b in evaluate_bounds(prepared)]
-        return [
-            self.bound_compiled(skeleton, column_cds, cards)
-            for skeleton, column_cds, cards in items
-        ]
 
     # ------------------------------------------------------------------
     def _count_at_root(

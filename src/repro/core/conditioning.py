@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import inc as _metric_inc
+from ..obs.tracing import span as _span
 from . import arraykernel
 from .arena import pl_view
 from .arraykernel import Ragged
@@ -690,12 +692,14 @@ class ConditionedRelation:
         self._rel = rel
         # Single-table bound: the min conditioned total over declared join
         # columns (they all count the same filtered rows).
+        _metric_inc("conditioning.object_relations")
         single_table = float(rel.cardinality)
         conditioned: dict[str, PiecewiseLinear] = {}
-        for jcol, jstats in rel.join_stats.items():
-            cds = jstats.condition(predicate)
-            conditioned[jcol] = cds
-            single_table = min(single_table, cds.total)
+        with _span("conditioning.object"):
+            for jcol, jstats in rel.join_stats.items():
+                cds = jstats.condition(predicate)
+                conditioned[jcol] = cds
+                single_table = min(single_table, cds.total)
         self.single_table = single_table
         self._conditioned = conditioned
         self._bound_cds: dict[str, PiecewiseLinear] = {}
@@ -747,6 +751,8 @@ _EXPR_KERNELS = {
     "sum": arraykernel.batch_pointwise_sum,
     "cmax": arraykernel.batch_concave_max,
 }
+_EXPR_METRIC = {kind: f"conditioning.ops.{kind}" for kind in _EXPR_KERNELS}
+_EXPR_SPAN = {kind: f"conditioning.kernel.{kind}" for kind in _EXPR_KERNELS}
 
 
 def evaluate_exprs_array(exprs: list) -> list[PiecewiseLinear]:
@@ -799,11 +805,13 @@ def evaluate_exprs_array(exprs: list) -> list[PiecewiseLinear]:
     # Same-level nodes only depend on strictly lower levels, so sorted
     # (level, kind, arity) order is a valid schedule.
     for (_, kind, arity), nids in sorted(groups.items()):
-        parts = [
-            Ragged.from_functions([values[ops[nid][1][j]] for nid in nids])
-            for j in range(arity)
-        ]
-        out = _EXPR_KERNELS[kind](parts)
+        _metric_inc(_EXPR_METRIC[kind], len(nids))
+        with _span(_EXPR_SPAN[kind]):
+            parts = [
+                Ragged.from_functions([values[ops[nid][1][j]] for nid in nids])
+                for j in range(arity)
+            ]
+            out = _EXPR_KERNELS[kind](parts)
         for k, nid in enumerate(nids):
             xs, ys = out.segment_arrays(k)
             if nid in root_set:
@@ -847,20 +855,23 @@ def condition_relations_batch(pairs) -> list[ConditionedRelation]:
     """:class:`ConditionedRelation` for many ``(relation statistics,
     predicate)`` pairs, flattening all their join columns into one
     :func:`condition_cds_batch` call."""
-    jobs: list[tuple[JoinColumnStats, Predicate | None]] = []
-    spans: list[tuple[object, list[str]]] = []
-    for rel, predicate in pairs:
-        jcols = list(rel.join_stats)
-        spans.append((rel, jcols))
-        jobs.extend((rel.join_stats[jcol], predicate) for jcol in jcols)
-    flat = condition_cds_batch(jobs)
-    out: list[ConditionedRelation] = []
-    pos = 0
-    for rel, jcols in spans:
-        conditioned = {jcol: flat[pos + k] for k, jcol in enumerate(jcols)}
-        pos += len(jcols)
-        out.append(ConditionedRelation.from_conditioned(rel, conditioned))
-    return out
+    pairs = list(pairs)
+    _metric_inc("conditioning.batched_pairs", len(pairs))
+    with _span("conditioning.batch", pairs=len(pairs)):
+        jobs: list[tuple[JoinColumnStats, Predicate | None]] = []
+        spans: list[tuple[object, list[str]]] = []
+        for rel, predicate in pairs:
+            jcols = list(rel.join_stats)
+            spans.append((rel, jcols))
+            jobs.extend((rel.join_stats[jcol], predicate) for jcol in jcols)
+        flat = condition_cds_batch(jobs)
+        out: list[ConditionedRelation] = []
+        pos = 0
+        for rel, jcols in spans:
+            conditioned = {jcol: flat[pos + k] for k, jcol in enumerate(jcols)}
+            pos += len(jcols)
+            out.append(ConditionedRelation.from_conditioned(rel, conditioned))
+        return out
 
 
 def fill_truncations_batch(
@@ -890,12 +901,14 @@ def fill_truncations_batch(
             targets.append((conditioned_rel, column))
     if not bases:
         return
-    out = arraykernel.batch_truncate_total(
-        Ragged.from_functions(bases), np.array(totals)
-    )
-    for k, (conditioned_rel, column) in enumerate(targets):
-        xs, ys = out.segment_arrays(k)
-        conditioned_rel._bound_cds[column] = pl_view(xs.copy(), ys.copy())
+    _metric_inc("conditioning.truncations", len(targets))
+    with _span("conditioning.truncate", cuts=len(targets)):
+        out = arraykernel.batch_truncate_total(
+            Ragged.from_functions(bases), np.array(totals)
+        )
+        for k, (conditioned_rel, column) in enumerate(targets):
+            xs, ys = out.segment_arrays(k)
+            conditioned_rel._bound_cds[column] = pl_view(xs.copy(), ys.copy())
 
 
 # ----------------------------------------------------------------------

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 from ..db.database import Database
 from ..db.query import Query
+from ..obs.metrics import inc as _metric_inc
+from ..obs.tracing import span as _span
 from .bound import CompiledSkeleton, FdsbEngine
 from .cache import LRUCache, SharedConditionedCache
 from .conditioning import (
@@ -281,21 +283,24 @@ class SafeBound:
         """
         if self.stats is None:
             raise RuntimeError("SafeBound.build(db) must run before bound_batch()")
-        skeletons: dict[tuple, CompiledSkeleton] = {}
-        prepared = []
-        for query in queries:
-            key = query.skeleton_key()
-            skeleton = skeletons.get(key)
-            if skeleton is None:
-                skeleton = self._engine.compile(query)
-                skeletons[key] = skeleton
-            prepared.append((query, skeleton, self._effective_predicates(query)))
-        self._prepare_conditioning(prepared)
-        items = []
-        for query, skeleton, effective in prepared:
-            column_cds, alias_cardinality = self._query_inputs(query, effective)
-            items.append((skeleton, column_cds, alias_cardinality))
-        return self._engine.bound_batch_compiled(items)
+        with _span("bound.batch", queries=len(queries)):
+            _metric_inc("bound.queries", len(queries))
+            skeletons: dict[tuple, CompiledSkeleton] = {}
+            prepared = []
+            for query in queries:
+                key = query.skeleton_key()
+                skeleton = skeletons.get(key)
+                if skeleton is None:
+                    skeleton = self._engine.compile(query)
+                    skeletons[key] = skeleton
+                prepared.append((query, skeleton, self._effective_predicates(query)))
+            self._prepare_conditioning(prepared)
+            with _span("bound.inputs"):
+                items = []
+                for query, skeleton, effective in prepared:
+                    column_cds, alias_cardinality = self._query_inputs(query, effective)
+                    items.append((skeleton, column_cds, alias_cardinality))
+            return self._engine.bound_batch_compiled(items)
 
     def _prepare_conditioning(self, prepared) -> None:
         """Array-kernel warm-up: batch-condition every (table, effective
@@ -311,55 +316,60 @@ class SafeBound:
         """
         if self._engine.eval_kernel != "array":
             return
-        missing: dict[tuple, tuple[str, Predicate | None]] = {}
-        for query, _, effective in prepared:
-            for alias, tname in query.relations.items():
-                predicate = effective.get(alias)
-                cache_key = (self._stats_epoch, tname, repr(predicate))
-                if cache_key not in missing and cache_key not in self._conditioning_cache:
-                    missing[cache_key] = (tname, predicate)
-        shared = self._shared_conditioning
-        # Each missing key is a logical conditioning-cache miss that the
-        # prefetch is about to fill; count it so the counters read the
-        # same as the object path's lookup-then-insert sequence.
-        self._conditioning_cache.misses += len(missing)
-        to_compute: list[tuple[tuple, str, Predicate | None]] = []
-        for cache_key, (tname, predicate) in missing.items():
-            if shared is not None:
-                blob = shared.get(_conditioning_digest(cache_key))
-                if blob is not None:
-                    self._conditioning_cache[cache_key] = unpack_conditioned(
-                        self.stats.relations[tname], blob
-                    )
-                    continue
-            to_compute.append((cache_key, tname, predicate))
-        if len(to_compute) >= max(self._engine.array_min_condition, 1):
-            pairs = [(self.stats.relations[t], p) for _, t, p in to_compute]
-            for (cache_key, _, _), conditioned in zip(
-                to_compute, condition_relations_batch(pairs)
-            ):
-                self._conditioning_cache[cache_key] = conditioned
+        with _span("conditioning.prepare") as sp:
+            missing: dict[tuple, tuple[str, Predicate | None]] = {}
+            for query, _, effective in prepared:
+                for alias, tname in query.relations.items():
+                    predicate = effective.get(alias)
+                    cache_key = (self._stats_epoch, tname, repr(predicate))
+                    if cache_key not in missing and cache_key not in self._conditioning_cache:
+                        missing[cache_key] = (tname, predicate)
+            shared = self._shared_conditioning
+            # Each missing key is a logical conditioning-cache miss that the
+            # prefetch is about to fill; count it so the counters read the
+            # same as the object path's lookup-then-insert sequence.
+            self._conditioning_cache.misses += len(missing)
+            _metric_inc("conditioning.lru_miss", len(missing))
+            to_compute: list[tuple[tuple, str, Predicate | None]] = []
+            for cache_key, (tname, predicate) in missing.items():
                 if shared is not None:
-                    shared.put(
-                        _conditioning_digest(cache_key), pack_conditioned(conditioned)
-                    )
-        # Anything still missing (a batch below the dispatch floor) falls
-        # through to the object path inside _conditioned_relation.
-        requests: list[tuple[ConditionedRelation, str]] = []
-        seen: set[tuple[int, str]] = set()
-        for query, _, effective in prepared:
-            for alias, tname in query.relations.items():
-                cache_key = (self._stats_epoch, tname, repr(effective.get(alias)))
-                conditioned = self._conditioning_cache.peek(cache_key)
-                if conditioned is None:
-                    continue
-                for col in query.join_columns_of(alias):
-                    rid = (id(conditioned), col)
-                    if rid not in seen and col not in conditioned._bound_cds:
-                        seen.add(rid)
-                        requests.append((conditioned, col))
-        if requests:
-            fill_truncations_batch(requests)
+                    blob = shared.get(_conditioning_digest(cache_key))
+                    if blob is not None:
+                        _metric_inc("conditioning.shared_hit")
+                        self._conditioning_cache[cache_key] = unpack_conditioned(
+                            self.stats.relations[tname], blob
+                        )
+                        continue
+                to_compute.append((cache_key, tname, predicate))
+            if len(to_compute) >= max(self._engine.array_min_condition, 1):
+                _metric_inc("conditioning.computed", len(to_compute))
+                pairs = [(self.stats.relations[t], p) for _, t, p in to_compute]
+                for (cache_key, _, _), conditioned in zip(
+                    to_compute, condition_relations_batch(pairs)
+                ):
+                    self._conditioning_cache[cache_key] = conditioned
+                    if shared is not None:
+                        shared.put(
+                            _conditioning_digest(cache_key), pack_conditioned(conditioned)
+                        )
+            # Anything still missing (a batch below the dispatch floor) falls
+            # through to the object path inside _conditioned_relation.
+            requests: list[tuple[ConditionedRelation, str]] = []
+            seen: set[tuple[int, str]] = set()
+            for query, _, effective in prepared:
+                for alias, tname in query.relations.items():
+                    cache_key = (self._stats_epoch, tname, repr(effective.get(alias)))
+                    conditioned = self._conditioning_cache.peek(cache_key)
+                    if conditioned is None:
+                        continue
+                    for col in query.join_columns_of(alias):
+                        rid = (id(conditioned), col)
+                        if rid not in seen and col not in conditioned._bound_cds:
+                            seen.add(rid)
+                            requests.append((conditioned, col))
+            sp.set(missing=len(missing), computed=len(to_compute), truncations=len(requests))
+            if requests:
+                fill_truncations_batch(requests)
 
     def _query_inputs(
         self, query: Query, effective: dict[str, Predicate] | None = None
@@ -381,6 +391,7 @@ class SafeBound:
         self, tname: str, predicate: Predicate | None
     ) -> ConditionedRelation:
         cache_key = (self._stats_epoch, tname, repr(predicate))
+        _metric_inc("conditioning.lookups")
 
         def compute() -> ConditionedRelation:
             shared = self._shared_conditioning
@@ -388,7 +399,9 @@ class SafeBound:
                 digest = _conditioning_digest(cache_key)
                 blob = shared.get(digest)
                 if blob is not None:
+                    _metric_inc("conditioning.shared_hit")
                     return unpack_conditioned(self.stats.relations[tname], blob)
+            _metric_inc("conditioning.computed")
             conditioned = ConditionedRelation(self.stats.relations[tname], predicate)
             if shared is not None:
                 shared.put(digest, pack_conditioned(conditioned))

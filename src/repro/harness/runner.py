@@ -18,6 +18,7 @@ from ..db.database import Database
 from ..db.query import Query
 from ..estimators.base import CardinalityEstimator, UnsupportedQueryError
 from ..estimators.truth import TrueCardinalityEstimator
+from ..obs.profile import maybe_profile
 from ..optimizer.join_order import Planner
 from ..optimizer.simulator import PlanSimulator
 from ..workloads.generator import Workload
@@ -104,36 +105,40 @@ def run_workload(
     for name, estimator in estimators.items():
         if build:
             estimator.build(db)
-        planner = Planner(db, estimator, indexes_enabled=indexes_enabled)
-        result = MethodResult(
-            workload.name,
-            name,
-            build_seconds=estimator.build_seconds,
-            memory_bytes=estimator.memory_bytes(),
-        )
-        # Standalone estimates of the full queries come from one batch call,
-        # outside the planning timer: the timer should capture the planner's
-        # own work, not a duplicate top-level lookup (which, for the truth
-        # oracle, would charge a full query execution to planning time).
-        # The batch cost is recorded on the result so it stays visible.
-        started = time.perf_counter()
-        estimates = estimator.estimate_batch(queries)
-        result.batch_estimate_seconds = time.perf_counter() - started
-        for query, estimate in zip(queries, estimates):
-            record = QueryRecord(query.name, cards[query.name])
-            if estimate is None:
-                record.supported = False
-            else:
-                record.estimate = float(estimate)
-                try:
-                    started = time.perf_counter()
-                    planned = planner.plan(query)
-                    record.planning_seconds = time.perf_counter() - started
-                    record.runtime = simulator.execute(query, planned.plan)
-                except UnsupportedQueryError:
+        # With REPRO_OBS_DIR set, each (workload, method) measurement runs
+        # traced and dumps a Chrome trace + metrics snapshot there.
+        with maybe_profile(f"{workload.name}.{name}"):
+            planner = Planner(db, estimator, indexes_enabled=indexes_enabled)
+            result = MethodResult(
+                workload.name,
+                name,
+                build_seconds=estimator.build_seconds,
+                memory_bytes=estimator.memory_bytes(),
+            )
+            # Standalone estimates of the full queries come from one batch
+            # call, outside the planning timer: the timer should capture
+            # the planner's own work, not a duplicate top-level lookup
+            # (which, for the truth oracle, would charge a full query
+            # execution to planning time).  The batch cost is recorded on
+            # the result so it stays visible.
+            started = time.perf_counter()
+            estimates = estimator.estimate_batch(queries)
+            result.batch_estimate_seconds = time.perf_counter() - started
+            for query, estimate in zip(queries, estimates):
+                record = QueryRecord(query.name, cards[query.name])
+                if estimate is None:
                     record.supported = False
-            result.records.append(record)
-        results[name] = result
+                else:
+                    record.estimate = float(estimate)
+                    try:
+                        started = time.perf_counter()
+                        planned = planner.plan(query)
+                        record.planning_seconds = time.perf_counter() - started
+                        record.runtime = simulator.execute(query, planned.plan)
+                    except UnsupportedQueryError:
+                        record.supported = False
+                result.records.append(record)
+            results[name] = result
     return results
 
 

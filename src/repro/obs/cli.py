@@ -1,0 +1,133 @@
+"""``python -m repro.service explain`` / ``trace`` — observability CLI.
+
+``explain`` builds a workload, runs one query under a fresh tracer and
+metrics registry, and prints the stage breakdown, cache hit path, kernel
+op counts and per-plan bounds (:func:`repro.obs.explain.explain_bound`).
+
+``trace`` runs a batch of queries with tracing enabled and writes the
+span tree in Chrome trace-event format (load it in ``chrome://tracing``
+or Perfetto); optionally it also dumps the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .explain import explain_bound, format_explain
+from .metrics import MetricsRegistry, metrics_installed
+from .tracing import Tracer, tracing_installed
+
+__all__ = ["main_explain", "main_trace"]
+
+_WORKLOADS = ("stats-ceb", "job-light", "demo")
+
+
+def _build_workload(name: str, scale: float, num_queries: int):
+    """(estimator, queries) for one named workload at ``scale``."""
+    from ..core.safebound import SafeBound
+
+    if name == "stats-ceb":
+        from ..workloads.stats_ceb import make_stats_ceb
+
+        wl = make_stats_ceb(scale=scale, num_queries=num_queries)
+        db, queries = wl.db, wl.queries
+    elif name == "job-light":
+        from ..workloads.job_light import make_job_light
+
+        wl = make_job_light(scale=scale, num_queries=num_queries)
+        db, queries = wl.db, wl.queries
+    else:
+        from ..service.__main__ import build_demo_database, demo_queries
+
+        db = build_demo_database()
+        queries = demo_queries()[:num_queries]
+    sb = SafeBound()
+    sb.build(db)
+    return sb, queries
+
+
+def _common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", choices=_WORKLOADS, default="demo",
+        help="workload to build (synthetic, laptop scale)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1, help="workload scale factor"
+    )
+    parser.add_argument(
+        "--num-queries", type=int, default=20, help="queries to generate"
+    )
+
+
+def main_explain(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service explain",
+        description="Per-stage breakdown of one bound computation",
+    )
+    _common_arguments(parser)
+    parser.add_argument(
+        "--query", type=int, default=0, help="index of the query to explain"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=1,
+        help="run the query this many times and explain the last run "
+        "(2 shows warm-cache behaviour)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    estimator, queries = _build_workload(args.workload, args.scale, args.num_queries)
+    if not 0 <= args.query < len(queries):
+        print(
+            f"--query {args.query} out of range (workload has {len(queries)})",
+            file=sys.stderr,
+        )
+        return 1
+    report = explain_bound(estimator, queries[args.query], runs=args.runs)
+    report["workload"] = args.workload
+    report["query"] = args.query
+    if args.json:
+        print(json.dumps(report, indent=2, default=repr))
+    else:
+        print(f"{args.workload} query {args.query} (run {report['run']}/{report['runs']})")
+        print(format_explain(report))
+    return 0
+
+
+def main_trace(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service trace",
+        description="Trace a query batch and write a Chrome trace file",
+    )
+    _common_arguments(parser)
+    parser.add_argument(
+        "--out", default="trace.json", help="Chrome trace-event output path"
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="also dump the metrics snapshot as JSON to this path",
+    )
+    args = parser.parse_args(argv)
+    estimator, queries = _build_workload(args.workload, args.scale, args.num_queries)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with tracing_installed(tracer), metrics_installed(registry):
+        started = time.perf_counter()
+        bounds = estimator.bound_batch(queries)
+        elapsed = time.perf_counter() - started
+    tracer.write_chrome_trace(args.out)
+    totals = tracer.stage_totals()
+    print(
+        f"{args.workload}: {len(bounds)} bounds in {elapsed * 1e3:.1f} ms, "
+        f"{len(tracer.spans)} spans over {len(totals)} stages -> {args.out}",
+        file=sys.stderr,
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump(registry.snapshot(), fh, indent=2, default=repr)
+        print(f"metrics snapshot -> {args.metrics_out}", file=sys.stderr)
+    return 0

@@ -1,0 +1,64 @@
+"""Opt-in profiling of harness runs.
+
+Setting the ``REPRO_OBS_DIR`` environment variable makes the harness
+runner wrap each (workload, method) measurement in
+:func:`maybe_profile`, which installs a fresh tracer and metrics
+registry for the block and writes two files into that directory:
+
+* ``<tag>.trace.json`` — the span tree in Chrome trace-event format;
+* ``<tag>.metrics.json`` — the stage totals plus the metrics snapshot.
+
+With the variable unset, :func:`maybe_profile` yields immediately and
+the instrumented code runs on the disabled no-op fast path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+
+from .metrics import MetricsRegistry, metrics_installed
+from .tracing import Tracer, tracing_installed
+
+__all__ = ["maybe_profile", "profile_enabled"]
+
+_ENV = "REPRO_OBS_DIR"
+
+
+def profile_enabled() -> bool:
+    return bool(os.environ.get(_ENV))
+
+
+def _slug(tag: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", tag).strip("-") or "profile"
+
+
+@contextlib.contextmanager
+def maybe_profile(tag: str):
+    """Trace the block and dump artifacts when ``REPRO_OBS_DIR`` is set;
+    otherwise a no-op."""
+    out_dir = os.environ.get(_ENV)
+    if not out_dir:
+        yield None
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with tracing_installed(tracer), metrics_installed(registry):
+        yield tracer
+    base = os.path.join(out_dir, _slug(tag))
+    tracer.write_chrome_trace(f"{base}.trace.json")
+    with open(f"{base}.metrics.json", "w") as fh:
+        json.dump(
+            {
+                "tag": tag,
+                "stage_totals": tracer.stage_totals(),
+                "root_seconds": tracer.root_seconds(),
+                "metrics": registry.snapshot(),
+            },
+            fh,
+            indent=2,
+            default=repr,
+        )

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from ..db.database import Database
 from ..db.query import Query
 from ..estimators.base import CardinalityEstimator, UnsupportedQueryError
+from ..obs.metrics import inc as _metric_inc
+from ..obs.tracing import span as _span
 from .cost import CostModel
 from .plans import JoinNode, PlanNode, ScanNode
 
@@ -65,10 +67,13 @@ class Planner:
         started = time.perf_counter()
         self._estimate_calls = 0
         aliases = sorted(query.relations)
-        if len(aliases) <= self.dp_max_relations:
-            plan, _ = self._plan_dp(query, aliases)
-        else:
-            plan, _ = self._plan_greedy(query, aliases)
+        with _span("optimizer.plan", relations=len(aliases)) as sp:
+            _metric_inc("optimizer.plans")
+            if len(aliases) <= self.dp_max_relations:
+                plan, _ = self._plan_dp(query, aliases)
+            else:
+                plan, _ = self._plan_greedy(query, aliases)
+            sp.set(estimate_calls=self._estimate_calls)
         return PlannedQuery(
             query, plan, time.perf_counter() - started, self._estimate_calls
         )
@@ -80,7 +85,9 @@ class Planner:
         if not subqueries:
             return []
         self._estimate_calls += len(subqueries)
-        estimates = self.estimator.estimate_batch(subqueries)
+        _metric_inc("optimizer.estimates", len(subqueries))
+        with _span("optimizer.estimate", subqueries=len(subqueries)):
+            estimates = self.estimator.estimate_batch(subqueries)
         out = []
         for est in estimates:
             if est is None:
@@ -255,57 +262,59 @@ class Planner:
             level = masks_by_size[size]
             if not level:
                 continue
-            subsets = {mask: to_set(mask) for mask in level}
-            # One estimator round trip for every connected subset of this
-            # size, and one more for the INLJ prefilters those unlock.
-            out_rows = dict(
-                zip(
-                    level,
-                    self._estimate_subqueries(
-                        [query.induced_subquery(subsets[mask]) for mask in level]
-                    ),
+            with _span("optimizer.dp_level", size=size, subsets=len(level)):
+                subsets = {mask: to_set(mask) for mask in level}
+                # One estimator round trip for every connected subset of this
+                # size, and one more for the INLJ prefilters those unlock.
+                out_rows = dict(
+                    zip(
+                        level,
+                        self._estimate_subqueries(
+                            [query.induced_subquery(subsets[mask]) for mask in level]
+                        ),
+                    )
                 )
-            )
-            prefilter_pairs = []
-            for mask in level:
-                m = mask
-                while m:
-                    bit = m & -m
-                    m ^= bit
-                    if (mask ^ bit) in best:
-                        inner_alias = aliases[bit.bit_length() - 1]
-                        prefilter_pairs.append(
-                            (subsets[mask] - {inner_alias}, inner_alias)
-                        )
-            prefilter_rows = self._batch_prefilters(query, prefilter_pairs)
+                prefilter_pairs = []
+                for mask in level:
+                    m = mask
+                    while m:
+                        bit = m & -m
+                        m ^= bit
+                        if (mask ^ bit) in best:
+                            inner_alias = aliases[bit.bit_length() - 1]
+                            prefilter_pairs.append(
+                                (subsets[mask] - {inner_alias}, inner_alias)
+                            )
+                prefilter_rows = self._batch_prefilters(query, prefilter_pairs)
 
-            for mask in level:
-                champion: tuple[PlanNode, float] | None = None
-                # Enumerate proper sub-masks; each (sub, mask^sub) split is
-                # considered once per orientation, which the candidates need.
-                sub = (mask - 1) & mask
-                while sub:
-                    other = mask ^ sub
-                    if sub < other:  # each unordered split once
+                for mask in level:
+                    champion: tuple[PlanNode, float] | None = None
+                    # Enumerate proper sub-masks; each (sub, mask^sub) split
+                    # is considered once per orientation, which the
+                    # candidates need.
+                    sub = (mask - 1) & mask
+                    while sub:
+                        other = mask ^ sub
+                        if sub < other:  # each unordered split once
+                            sub = (sub - 1) & mask
+                            continue
+                        if sub in best and other in best:
+                            left_set, right_set = to_set(sub), to_set(other)
+                            if self._sets_joined(query, left_set, right_set):
+                                for node, cost in self._join_candidates(
+                                    query,
+                                    best[sub],
+                                    best[other],
+                                    left_set,
+                                    right_set,
+                                    out_rows[mask],
+                                    prefilter_rows,
+                                ):
+                                    if champion is None or cost < champion[1]:
+                                        champion = (node, cost)
                         sub = (sub - 1) & mask
-                        continue
-                    if sub in best and other in best:
-                        left_set, right_set = to_set(sub), to_set(other)
-                        if self._sets_joined(query, left_set, right_set):
-                            for node, cost in self._join_candidates(
-                                query,
-                                best[sub],
-                                best[other],
-                                left_set,
-                                right_set,
-                                out_rows[mask],
-                                prefilter_rows,
-                            ):
-                                if champion is None or cost < champion[1]:
-                                    champion = (node, cost)
-                    sub = (sub - 1) & mask
-                if champion is not None:
-                    best[mask] = champion
+                    if champion is not None:
+                        best[mask] = champion
         if full not in best:
             # Disconnected query: greedily cross-join the components.
             return self._plan_greedy(query, aliases)

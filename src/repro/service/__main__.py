@@ -9,7 +9,9 @@ cycle the server hot-swaps), and prints a JSON metrics report.
 The ``stats-info`` subcommand prints a published version's manifest —
 format (v1 / arena), size on disk, array counts, content digest and build
 parallelism (the serving-side counterpart of the paper's Fig 8a memory
-reporting).
+reporting).  The ``explain`` and ``trace`` subcommands are the
+observability CLI (``repro.obs``): per-stage latency breakdown of one
+bound computation, and Chrome-trace export of a traced batch.
 
 Examples::
 
@@ -18,6 +20,8 @@ Examples::
     PYTHONPATH=src python -m repro.service --updates 5 --batch 32
     PYTHONPATH=src python -m repro.service --num-workers 4 --stats-format arena
     PYTHONPATH=src python -m repro.service stats-info demo --catalog /tmp/cat
+    PYTHONPATH=src python -m repro.service explain --workload stats-ceb --query 3
+    PYTHONPATH=src python -m repro.service trace --workload job-light --out trace.json
 """
 
 from __future__ import annotations
@@ -138,6 +142,14 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "stats-info":
         return stats_info(argv[1:])
+    if argv and argv[0] == "explain":
+        from ..obs.cli import main_explain
+
+        return main_explain(argv[1:])
+    if argv and argv[0] == "trace":
+        from ..obs.cli import main_trace
+
+        return main_trace(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.service", description="SafeBound bound-serving demo"
     )
@@ -173,6 +185,20 @@ def main(argv: list[str] | None = None) -> int:
         help="size (MiB) of the shared conditioned-CDS cache; allocated "
         "before the serving pool forks, so workers reuse each other's "
         "conditioning work (0 disables; bounds are identical either way)",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="periodically rewrite a metrics-snapshot JSON file at this "
+        "path while the server runs",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=5.0,
+        help="seconds between --metrics-json rewrites",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one structured JSON line on stderr per rejected "
+        "request / failed batch",
     )
     args = parser.parse_args(argv)
     if args.num_workers > 1 and args.updates:
@@ -231,6 +257,9 @@ def main(argv: list[str] | None = None) -> int:
             max_wait_ms=args.wait_ms,
             refresh_db=db,
             num_workers=args.num_workers,
+            metrics_json_path=args.metrics_json,
+            metrics_json_interval=args.metrics_interval,
+            json_log=sys.stderr if args.log_json else None,
         )
         queries = demo_queries()
         rng = np.random.default_rng(1)

@@ -31,15 +31,32 @@ class LatencyRecorder:
             self.count += 1
 
     def summary(self) -> dict[str, float]:
-        """Count plus mean/p50/p95/p99/max over the retained reservoir."""
+        """Lifetime sample count plus mean/p50/p95/p99/max over the
+        retained reservoir.
+
+        ``count`` is the number of samples *ever* recorded; ``window`` is
+        the number retained in the bounded reservoir, which is what the
+        mean and percentiles are computed over.  Keeping the two apart
+        stops a long-lived server's summary from implying its percentiles
+        cover millions of samples when the reservoir holds the last 8192.
+        """
         with self._lock:
             samples = np.array(self._samples, dtype=float)
             count = self.count
         if not len(samples):
             nan = float("nan")
-            return {"count": 0, "mean": nan, "p50": nan, "p95": nan, "p99": nan, "max": nan}
+            return {
+                "count": count,
+                "window": 0,
+                "mean": nan,
+                "p50": nan,
+                "p95": nan,
+                "p99": nan,
+                "max": nan,
+            }
         return {
             "count": count,
+            "window": int(len(samples)),
             "mean": float(samples.mean()),
             "p50": float(np.quantile(samples, 0.50)),
             "p95": float(np.quantile(samples, 0.95)),
@@ -61,6 +78,10 @@ class ServerMetrics:
         self.batched_requests = 0
         self.max_batch = 0
         self.swaps = 0
+        # Dead-worker reaping (fork-pool mode): reap events seen and
+        # batches failed by them.
+        self.worker_reaps = 0
+        self.reaped_batches = 0
         # Queue wait (admission -> batch start) and total request latency
         # (admission -> result), in seconds.
         self.queue_latency = LatencyRecorder()
@@ -69,6 +90,13 @@ class ServerMetrics:
         # counters (SafeBound.conditioning_cache_stats); set by the server
         # when the estimator exposes one, sampled at snapshot time.
         self.conditioning_source = None
+        # Optional callable returning pool-worker liveness (the server's
+        # worker_pids plus reap counters), set in fork-pool mode.
+        self.workers_source = None
+        # Optional callable returning the fork-shared observability
+        # registry's snapshot (repro.obs MetricsRegistry) — the aggregated
+        # kernel/cache/latency counters of parent and every pool worker.
+        self.obs_source = None
 
     # ------------------------------------------------------------------
     def record_accepted(self) -> None:
@@ -97,6 +125,11 @@ class ServerMetrics:
         with self._lock:
             self.swaps += 1
 
+    def record_reap(self, batches: int) -> None:
+        with self._lock:
+            self.worker_reaps += 1
+            self.reaped_batches += batches
+
     # ------------------------------------------------------------------
     @property
     def mean_batch_size(self) -> float:
@@ -115,6 +148,8 @@ class ServerMetrics:
                 "batched_requests": self.batched_requests,
                 "max_batch": self.max_batch,
                 "swaps": self.swaps,
+                "worker_reaps": self.worker_reaps,
+                "reaped_batches": self.reaped_batches,
             }
         counters["mean_batch_size"] = (
             counters["batched_requests"] / counters["batches"]
@@ -123,10 +158,14 @@ class ServerMetrics:
         )
         counters["queue_latency"] = self.queue_latency.summary()
         counters["request_latency"] = self.request_latency.summary()
-        source = self.conditioning_source
-        if source is not None:
-            try:
-                counters["conditioning_cache"] = source()
-            except Exception:  # estimator mid-refresh / not built yet
-                pass
+        for key, source in (
+            ("conditioning_cache", self.conditioning_source),
+            ("workers", self.workers_source),
+            ("observability", self.obs_source),
+        ):
+            if source is not None:
+                try:
+                    counters[key] = source()
+                except Exception:  # estimator mid-refresh / not built yet
+                    pass
         return counters

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import gc
 import itertools
+import json
 import multiprocessing
+import os
 import queue
 import threading
 import time
@@ -40,6 +42,8 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from ..db.query import Query
+from ..obs.metrics import MetricsRegistry, get_metrics, inc as _metric_inc, install_metrics, observe as _metric_observe
+from ..obs.tracing import span as _span
 from .metrics import ServerMetrics
 
 __all__ = ["ServerOverloadedError", "EstimationServer", "generate_load"]
@@ -63,6 +67,12 @@ _fork_counter = itertools.count(1)
 
 
 def _pool_worker_init() -> None:
+    # The child's inherited copy of the installed metrics registry still
+    # holds whatever local deltas the parent had not flushed at fork time;
+    # drop them so they are not merged into the shared segment twice.
+    registry = get_metrics()
+    if registry is not None:
+        registry.clear_local()
     # Freeze the inherited heap: without it, the child's first garbage
     # collection touches (and therefore copy-on-writes) every inherited
     # object's header, inflating per-worker resident memory for no reason.
@@ -70,7 +80,14 @@ def _pool_worker_init() -> None:
 
 
 def _pool_estimate(key: int, queries: list[Query]) -> list[float]:
-    return _fork_estimators[key].estimate_batch(queries)
+    try:
+        return _fork_estimators[key].estimate_batch(queries)
+    finally:
+        # Publish this worker's kernel/cache counters into the fork-shared
+        # segment so the parent's snapshot aggregates them.
+        registry = get_metrics()
+        if registry is not None and registry.shared:
+            registry.flush()
 
 
 def _fork_pool(estimator, num_workers: int):
@@ -146,6 +163,9 @@ class EstimationServer:
         refresh_db=None,
         metrics: ServerMetrics | None = None,
         num_workers: int = 0,
+        metrics_json_path: str | None = None,
+        metrics_json_interval: float = 5.0,
+        json_log=None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -161,6 +181,16 @@ class EstimationServer:
         if callable(stats_fn):
             self.metrics.conditioning_source = stats_fn
         self.num_workers = num_workers
+        # Periodic metrics dump: the worker loop rewrites this JSON file
+        # every ``metrics_json_interval`` seconds while running.
+        self.metrics_json_path = metrics_json_path
+        self.metrics_json_interval = metrics_json_interval
+        self._last_metrics_dump = 0.0
+        # Structured event log: a file-like object that gets one JSON line
+        # per rejected request / failed batch (the ``--log-json`` flag).
+        self.json_log = json_log
+        self._json_log_lock = threading.Lock()
+        self._obs_registry: MetricsRegistry | None = None
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._thread: threading.Thread | None = None
         self._pool = None
@@ -190,9 +220,22 @@ class EstimationServer:
         if self._thread is not None:
             raise RuntimeError("server already started")
         if self.num_workers > 1:
+            # Install a fork-shared observability registry *before* the
+            # pool forks, so every worker inherits the same shared segment
+            # and the parent snapshot aggregates their kernel/cache
+            # counters.  An already-installed shared registry is reused
+            # (e.g. a harness-level one spanning several servers).
+            registry = get_metrics()
+            if registry is None or not registry.shared:
+                registry = install_metrics(MetricsRegistry(shared=True))
+            self._obs_registry = registry
+            self.metrics.obs_source = registry.snapshot
+            self.metrics.workers_source = self._worker_liveness
             self._fork_key, self._pool = _fork_pool(self.estimator, self.num_workers)
             self._inflight = threading.BoundedSemaphore(self.num_workers * 2)
             self._known_worker_pids = {p.pid for p in self._pool._pool}
+        elif get_metrics() is not None:
+            self.metrics.obs_source = get_metrics().snapshot
         self._accepting = True
         self._thread = threading.Thread(
             target=self._run, name="estimation-server", daemon=True
@@ -240,6 +283,18 @@ class EstimationServer:
             return []
         return [p.pid for p in pool._pool]
 
+    def _worker_liveness(self) -> dict:
+        """Pool-worker liveness for metrics snapshots (fork-pool mode)."""
+        pool = self._pool
+        workers = list(pool._pool) if pool is not None else []
+        return {
+            "num_workers": self.num_workers,
+            "pids": [p.pid for p in workers],
+            "alive": sum(1 for p in workers if p.is_alive()),
+            "reaps": self.metrics.worker_reaps,
+            "reaped_batches": self.metrics.reaped_batches,
+        }
+
     def __enter__(self) -> "EstimationServer":
         return self.start()
 
@@ -263,6 +318,8 @@ class EstimationServer:
             self._queue.put_nowait(request)
         except queue.Full:
             self.metrics.record_rejected()
+            _metric_inc("server.rejected")
+            self._log_json("rejected", queue_depth=self._queue.maxsize)
             raise ServerOverloadedError(
                 f"request queue full ({self._queue.maxsize} pending)"
             ) from None
@@ -278,15 +335,20 @@ class EstimationServer:
     # ------------------------------------------------------------------
     def _run(self) -> None:
         stopping = False
-        # In pool mode the loop wakes periodically even when idle, so a
-        # worker death with batches in flight (and no new requests coming)
-        # is still noticed and reaped.
-        poll = 0.25 if self._pool is not None else None
+        # In pool mode — or with a periodic metrics dump configured — the
+        # loop wakes periodically even when idle, so worker deaths are
+        # reaped and dumps stay fresh without request traffic.
+        poll = (
+            0.25
+            if self._pool is not None or self.metrics_json_path is not None
+            else None
+        )
         while not stopping:
             try:
                 head = self._queue.get(timeout=poll)
             except queue.Empty:
                 self._reap_dead_workers()
+                self._maybe_dump_metrics()
                 continue
             if head is _STOP:
                 stopping = True
@@ -294,6 +356,7 @@ class EstimationServer:
                 stopping = self._collect_and_serve(head)
             self._reap_dead_workers()
             self._maybe_refresh()
+            self._maybe_dump_metrics()
         # Serve the backlog accepted before shutdown began.
         leftovers: list[_Request] = []
         while True:
@@ -305,6 +368,7 @@ class EstimationServer:
                 leftovers.append(request)
         for start in range(0, len(leftovers), self.max_batch):
             self._serve_batch(leftovers[start : start + self.max_batch])
+        self._maybe_dump_metrics(force=True)
 
     def _collect_and_serve(self, head: _Request) -> bool:
         """Coalesce a micro-batch behind ``head``; True means stop seen."""
@@ -339,6 +403,8 @@ class EstimationServer:
         for request in batch:
             self.metrics.queue_latency.record(started - request.enqueued_at)
         self.metrics.record_batch(len(batch))
+        _metric_inc("server.batches")
+        _metric_inc("server.requests", len(batch))
         queries = [r.query for r in batch]
         pool, inflight, fork_key = self._pool, self._inflight, self._fork_key
         if pool is not None and inflight is not None:
@@ -347,12 +413,13 @@ class EstimationServer:
             with self._inflight_lock:
                 self._inflight_batches[entry] = (batch, inflight)
             try:
-                pool.apply_async(
-                    _pool_estimate,
-                    (fork_key, queries),
-                    callback=lambda estimates, e=entry: self._settle(e, estimates, None),
-                    error_callback=lambda exc, e=entry: self._settle(e, None, exc),
-                )
+                with _span("server.dispatch", size=len(batch)):
+                    pool.apply_async(
+                        _pool_estimate,
+                        (fork_key, queries),
+                        callback=lambda estimates, e=entry: self._settle(e, estimates, None),
+                        error_callback=lambda exc, e=entry: self._settle(e, None, exc),
+                    )
             except Exception as exc:
                 # stop() can close the pool under a batching thread that
                 # outlived its join timeout — fail the batch instead of
@@ -361,10 +428,12 @@ class EstimationServer:
                 self._settle(entry, None, exc)
             return
         try:
-            estimates = self.estimator.estimate_batch(queries)
+            with _span("server.batch", size=len(batch)):
+                estimates = self.estimator.estimate_batch(queries)
         except Exception as exc:  # propagate to every waiting client
             self._fail_batch(batch, exc)
             return
+        _metric_observe("server.batch_seconds", time.perf_counter() - started)
         self._finish_batch(batch, estimates)
 
     def _settle(self, entry: int, estimates, exc: Exception | None) -> None:
@@ -406,6 +475,9 @@ class EstimationServer:
         with self._inflight_lock:
             lost = list(self._inflight_batches.values())
             self._inflight_batches.clear()
+        if lost:
+            self.metrics.record_reap(len(lost))
+            _metric_inc("server.worker_reaps")
         for batch, inflight in lost:
             inflight.release()
             self._fail_batch(batch, RuntimeError(reason))
@@ -421,6 +493,48 @@ class EstimationServer:
         for request in batch:
             request.future.set_exception(exc)
         self.metrics.record_failed(len(batch))
+        _metric_inc("server.failed", len(batch))
+        self._log_json(
+            "batch_failed",
+            size=len(batch),
+            error_type=type(exc).__name__,
+            error=str(exc),
+        )
+
+    def _log_json(self, event: str, **fields) -> None:
+        """One structured JSON line per serving anomaly (``--log-json``)."""
+        stream = self.json_log
+        if stream is None:
+            return
+        record = {"ts": time.time(), "event": event, **fields}
+        line = json.dumps(record, default=repr)
+        try:
+            with self._json_log_lock:
+                stream.write(line + "\n")
+                stream.flush()
+        except Exception:
+            pass  # a broken log sink must never break serving
+
+    def _maybe_dump_metrics(self, force: bool = False) -> None:
+        """Rewrite the ``--metrics-json`` snapshot file when it is due."""
+        path = self.metrics_json_path
+        if path is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_metrics_dump < self.metrics_json_interval:
+            return
+        self._last_metrics_dump = now
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(self.metrics.snapshot(), fh, indent=2, default=repr)
+            os.replace(tmp, path)
+        except Exception:
+            # Snapshot dumping is best-effort; never kill the worker loop.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     def _maybe_refresh(self) -> None:
         if self._pool is not None:

@@ -38,7 +38,28 @@ class TestLatencyRecorder:
             recorder.record(0.001)
         summary = recorder.summary()
         assert summary["count"] == 25
+        assert summary["window"] == 10
         assert len(recorder._samples) == 10
+
+    def test_window_tracks_percentile_population(self):
+        """``count`` is lifetime, ``window`` is what the percentiles are
+        computed over: old samples beyond the reservoir must not shift
+        them."""
+        recorder = LatencyRecorder(capacity=4)
+        for _ in range(100):
+            recorder.record(1000.0)  # ancient outliers, all evicted
+        for value in (0.001, 0.002, 0.003, 0.004):
+            recorder.record(value)
+        summary = recorder.summary()
+        assert summary["count"] == 104
+        assert summary["window"] == 4
+        assert summary["max"] == pytest.approx(0.004)
+        assert summary["p99"] <= 0.004
+
+    def test_empty_summary_keeps_lifetime_count(self):
+        recorder = LatencyRecorder(capacity=4)
+        summary = recorder.summary()
+        assert summary["count"] == 0 and summary["window"] == 0
 
     def test_concurrent_recording(self):
         recorder = LatencyRecorder()
