@@ -8,12 +8,17 @@ Composes the library pieces into a long-running service:
   admission control and latency metrics;
 * :mod:`repro.service.ingest` — live insert/delete ingest with
   background recompress-and-republish cycles;
-* ``python -m repro.service`` — a runnable throughput demo.
+* :mod:`repro.service.net` / :mod:`repro.service.wire` — the network
+  serving tier: a length-prefixed JSON socket facade, typed client, and
+  multi-process load generator;
+* ``python -m repro.service`` — the runnable demo plus ``serve`` /
+  ``client`` subcommands for cross-process serving.
 """
 
 from .catalog import CatalogBackedSafeBound, StatsCatalog, StatsVersion
 from .ingest import RepublishWorker, UpdateIngest, append_rows, remove_rows
 from .metrics import LatencyRecorder, ServerMetrics
+from .net import NetClient, NetRequestError, NetServer, generate_load_net
 from .server import EstimationServer, ServerOverloadedError, generate_load
 
 __all__ = [
@@ -23,6 +28,10 @@ __all__ = [
     "EstimationServer",
     "ServerOverloadedError",
     "generate_load",
+    "NetServer",
+    "NetClient",
+    "NetRequestError",
+    "generate_load_net",
     "LatencyRecorder",
     "ServerMetrics",
     "UpdateIngest",

@@ -6,6 +6,13 @@ it with a concurrent load generator, optionally streams inserts/deletes
 through the live-ingest path (with a background recompress-and-republish
 cycle the server hot-swaps), and prints a JSON metrics report.
 
+The ``serve`` subcommand runs the same stack behind the network tier
+(``service/net.py``): a socket server a separate ``client`` process
+drives — the cross-process twin of the in-process demo, with optional
+live ingest rounds republishing under load (which fork-pool workers pick
+up through the catalog's generation handshake).  The ``client``
+subcommand is the matching multi-process load generator.
+
 The ``stats-info`` subcommand prints a published version's manifest —
 format (v1 / arena), size on disk, array counts, content digest and build
 parallelism (the serving-side counterpart of the paper's Fig 8a memory
@@ -19,6 +26,8 @@ Examples::
     PYTHONPATH=src python -m repro.service --requests 2000 --concurrency 16
     PYTHONPATH=src python -m repro.service --updates 5 --batch 32
     PYTHONPATH=src python -m repro.service --num-workers 4 --stats-format arena
+    PYTHONPATH=src python -m repro.service serve --num-workers 2 --updates 3 &
+    PYTHONPATH=src python -m repro.service client --port 7719 --requests 1000
     PYTHONPATH=src python -m repro.service stats-info demo --catalog /tmp/cat
     PYTHONPATH=src python -m repro.service explain --workload stats-ceb --query 3
     PYTHONPATH=src python -m repro.service trace --workload job-light --out trace.json
@@ -28,8 +37,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 import tempfile
+import time
 
 import numpy as np
 
@@ -137,11 +149,281 @@ def stats_info(argv: list[str]) -> int:
     return 0
 
 
+def _build_demo_estimator(
+    catalog: StatsCatalog,
+    db,
+    *,
+    eval_kernel: str,
+    stats_format: str,
+    shared_cache_bytes: int,
+    num_workers: int,
+) -> CatalogBackedSafeBound:
+    """Build + publish demo statistics; returns the serving estimator.
+
+    With a fork pool the served estimator is re-opened from the
+    *published* archive (an mmap for the arena format) so workers inherit
+    shared file-backed pages; ``refresh(db)`` re-attaches update tracking
+    so live ingest works against the same estimator.
+    """
+    estimator = CatalogBackedSafeBound(
+        catalog, "demo",
+        SafeBoundConfig(
+            track_updates=True,
+            eval_kernel=eval_kernel,
+            shared_conditioning_cache_bytes=shared_cache_bytes,
+        ),
+        stats_format=stats_format,
+    )
+    estimator.build(db)
+    published = catalog.latest("demo")
+    print(
+        f"published {published.label} ({published.format}): "
+        f"{published.file_bytes / 1024:.1f} KiB, "
+        f"{published.num_sequences} sequences, built in {published.build_seconds:.2f}s",
+        file=sys.stderr,
+    )
+    if num_workers > 1:
+        estimator = CatalogBackedSafeBound(
+            catalog, "demo",
+            SafeBoundConfig(
+                eval_kernel=eval_kernel,
+                shared_conditioning_cache_bytes=shared_cache_bytes,
+            ),
+            stats_format=stats_format,
+        )
+        estimator.refresh(db)
+    return estimator
+
+
+def _ingest_round(ingest: UpdateIngest, db, rng, round_no: int) -> None:
+    """One demo update round: a zipf-skewed ratings insert + a delete."""
+    n = 2000
+    start = db.table("ratings").num_rows + 1_000_000 * (round_no + 1)
+    ingest.insert("ratings", {
+        "id": np.arange(start, start + n),
+        "movie_id": (rng.zipf(1.4, n) - 1) % db.table("movies").num_rows,
+        "stars": rng.integers(1, 6, n),
+    })
+    ingest.delete("ratings", rng.choice(db.table("ratings").num_rows, 500, replace=False))
+
+
+def serve(argv: list[str]) -> int:
+    """``serve``: the demo stack behind the network tier, until killed."""
+    from .net import NetServer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service serve",
+        description="Serve demo-database bounds over a socket "
+        "(length-prefixed JSON protocol; drive with the 'client' subcommand)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    parser.add_argument("--batch", type=int, default=64, help="max micro-batch size")
+    parser.add_argument("--wait-ms", type=float, default=2.0, help="max batching wait")
+    parser.add_argument("--queue", type=int, default=1024, help="admission queue size")
+    parser.add_argument("--num-workers", type=int, default=0, help="fork-pool size")
+    parser.add_argument("--eval-kernel", choices=("array", "object"), default="array")
+    parser.add_argument("--stats-format", choices=("arena", "v1"), default="arena")
+    parser.add_argument("--shared-cache-mb", type=float, default=0.0)
+    parser.add_argument("--catalog", default=None, help="catalog root (default: temp dir)")
+    parser.add_argument(
+        "--updates", type=int, default=0,
+        help="ingest rounds streamed while serving (each pads the live "
+        "statistics; the background worker republishes, and fork-pool "
+        "workers hot-swap to the new version via the generation stamp)",
+    )
+    parser.add_argument(
+        "--update-interval", type=float, default=1.0,
+        help="seconds between ingest rounds",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=0.0,
+        help="exit after this many seconds (0: serve until SIGTERM/SIGINT)",
+    )
+    parser.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write {host, port, pid} JSON here once listening (clients "
+        "and CI scripts poll it instead of racing the bind)",
+    )
+    parser.add_argument("--metrics-json", default=None, metavar="PATH")
+    parser.add_argument("--log-json", action="store_true")
+    args = parser.parse_args(argv)
+
+    db = build_demo_database()
+    tmp = None
+    root = args.catalog
+    if root is None:
+        tmp = tempfile.TemporaryDirectory(prefix="safebound-catalog-")
+        root = tmp.name
+    shared_cache_bytes = int(args.shared_cache_mb * (1 << 20))
+
+    # A SIGTERM (how CI stops the server) unwinds like Ctrl-C so the
+    # server, pool and catalog tempdir all clean up.
+    signal.signal(signal.SIGTERM, lambda *_: (_ for _ in ()).throw(KeyboardInterrupt()))
+    try:
+        catalog = StatsCatalog(root)
+        estimator = _build_demo_estimator(
+            catalog, db,
+            eval_kernel=args.eval_kernel,
+            stats_format=args.stats_format,
+            shared_cache_bytes=shared_cache_bytes,
+            num_workers=args.num_workers,
+        )
+        ingest = UpdateIngest(db, estimator, republish_overhead=0.05)
+        worker = RepublishWorker(ingest, poll_seconds=0.05) if args.updates else None
+        server = EstimationServer(
+            estimator,
+            max_queue=args.queue,
+            max_batch=args.batch,
+            max_wait_ms=args.wait_ms,
+            refresh_db=db,
+            num_workers=args.num_workers,
+            metrics_json_path=args.metrics_json,
+            json_log=sys.stderr if args.log_json else None,
+        )
+        rng = np.random.default_rng(1)
+        with server, NetServer(server, args.host, args.port) as net:
+            ready = {"host": net.host, "port": net.port, "pid": os.getpid()}
+            if args.ready_file:
+                ready_tmp = f"{args.ready_file}.incoming"
+                with open(ready_tmp, "w") as fh:
+                    json.dump(ready, fh)
+                os.replace(ready_tmp, args.ready_file)
+            print(json.dumps({"serving": ready}), flush=True)
+            if worker is not None:
+                worker.start()
+            try:
+                started = time.monotonic()
+                rounds = 0
+                while True:
+                    time.sleep(min(args.update_interval, 0.25))
+                    if rounds < args.updates and (
+                        time.monotonic() - started >= (rounds + 1) * args.update_interval
+                    ):
+                        _ingest_round(ingest, db, rng, rounds)
+                        rounds += 1
+                    if args.duration and time.monotonic() - started >= args.duration:
+                        break
+            except KeyboardInterrupt:
+                pass
+            finally:
+                if worker is not None:
+                    worker.stop()
+        summary = {
+            "served_version": estimator.version,
+            "generation": estimator.generation(),
+            "republishes": ingest.republishes,
+            "metrics": server.metrics.snapshot(),
+        }
+        print(json.dumps(summary, indent=2, default=repr))
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return 0
+
+
+def client(argv: list[str]) -> int:
+    """``client``: multi-process load generation against a ``serve``."""
+    from .net import NetClient, generate_load_net
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service client",
+        description="Drive a 'serve' instance from separate client processes",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="read host/port from a serve --ready-file (polls until it appears)",
+    )
+    parser.add_argument("--requests", type=int, default=500)
+    parser.add_argument("--processes", type=int, default=2)
+    parser.add_argument("--concurrency", type=int, default=4, help="threads per process")
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every request completed with zero errors and "
+        "the server reports zero failed batches",
+    )
+    parser.add_argument(
+        "--expect-min-generation", type=int, default=None,
+        help="with --check, also require the served catalog generation to "
+        "have reached this value (i.e. a republish propagated)",
+    )
+    args = parser.parse_args(argv)
+    host, port = args.host, args.port
+    if args.ready_file:
+        deadline = time.monotonic() + args.timeout
+        while True:
+            try:
+                with open(args.ready_file) as fh:
+                    ready = json.load(fh)
+                host, port = ready["host"], ready["port"]
+                break
+            except (OSError, ValueError, KeyError):
+                if time.monotonic() > deadline:
+                    print(f"ready file {args.ready_file} never appeared", file=sys.stderr)
+                    return 1
+                time.sleep(0.1)
+    if port is None:
+        parser.error("--port or --ready-file is required")
+
+    report = generate_load_net(
+        host, port, demo_queries(), args.requests,
+        processes=args.processes,
+        concurrency=args.concurrency,
+        timeout=args.timeout,
+    )
+    report.pop("results")
+    with NetClient(host, port, timeout=args.timeout) as probe:
+        report["health"] = probe.health()
+        if args.expect_min_generation is not None:
+            # The republish runs on the server's own schedule; give it until
+            # the deadline to land, then confirm post-swap serving works.
+            deadline = time.monotonic() + args.timeout
+            while (
+                report["health"].get("generation", 0) < args.expect_min_generation
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.25)
+                report["health"] = probe.health()
+            report["post_swap_bound"] = probe.bound(demo_queries()[0])
+        report["server_metrics"] = probe.metrics()
+    print(json.dumps(report, indent=2, default=repr))
+
+    if args.check:
+        failures = []
+        if report["errors"]:
+            failures.append(f"{len(report['errors'])} client-side errors")
+        if report["completed"] != report["requests"]:
+            failures.append(
+                f"completed {report['completed']}/{report['requests']} requests"
+            )
+        if report["server_metrics"].get("failed"):
+            failures.append(f"server failed {report['server_metrics']['failed']} requests")
+        generation = report["health"].get("generation")
+        if args.expect_min_generation is not None and (
+            generation is None or generation < args.expect_min_generation
+        ):
+            failures.append(
+                f"generation {generation} < expected {args.expect_min_generation}"
+            )
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print("check ok: zero failed requests", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "stats-info":
         return stats_info(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve(argv[1:])
+    if argv and argv[0] == "client":
+        return client(argv[1:])
     if argv and argv[0] == "explain":
         from ..obs.cli import main_explain
 
@@ -177,8 +459,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--num-workers", type=int, default=0,
         help="fork this many serving processes that inherit the loaded "
-        "statistics mmap (>1 enables multi-process mode; incompatible "
-        "with --updates, which needs a live single-process estimator)",
+        "statistics mmap (>1 enables multi-process mode; composes with "
+        "--updates through the catalog's generation handshake — workers "
+        "hot-swap to each republished version per batch)",
     )
     parser.add_argument(
         "--shared-cache-mb", type=float, default=0.0,
@@ -201,9 +484,6 @@ def main(argv: list[str] | None = None) -> int:
         "request / failed batch",
     )
     args = parser.parse_args(argv)
-    if args.num_workers > 1 and args.updates:
-        parser.error("--num-workers > 1 serves a frozen statistics snapshot "
-                     "and cannot be combined with --updates")
 
     db = build_demo_database()
     tmp = None
@@ -216,38 +496,13 @@ def main(argv: list[str] | None = None) -> int:
     shared_cache_bytes = int(args.shared_cache_mb * (1 << 20))
     try:
         catalog = StatsCatalog(root)
-        estimator = CatalogBackedSafeBound(
-            catalog, "demo",
-            SafeBoundConfig(
-                track_updates=True,
-                eval_kernel=args.eval_kernel,
-                shared_conditioning_cache_bytes=shared_cache_bytes,
-            ),
+        estimator = _build_demo_estimator(
+            catalog, db,
+            eval_kernel=args.eval_kernel,
             stats_format=args.stats_format,
+            shared_cache_bytes=shared_cache_bytes,
+            num_workers=args.num_workers,
         )
-        estimator.build(db)
-        published = catalog.latest("demo")
-        print(
-            f"published {published.label} ({published.format}): "
-            f"{published.file_bytes / 1024:.1f} KiB, "
-            f"{published.num_sequences} sequences, built in {published.build_seconds:.2f}s",
-            file=sys.stderr,
-        )
-
-        if args.num_workers > 1:
-            # Serve the *published* archive (an mmap for the arena format)
-            # rather than the build's in-heap statistics, so the forked
-            # workers inherit shared file-backed pages.
-            estimator = CatalogBackedSafeBound(
-                catalog, "demo",
-                SafeBoundConfig(
-                    eval_kernel=args.eval_kernel,
-                    shared_conditioning_cache_bytes=shared_cache_bytes,
-                ),
-                stats_format=args.stats_format,
-            )
-            estimator.refresh()
-
         ingest = UpdateIngest(db, estimator, republish_overhead=0.05)
         worker = RepublishWorker(ingest, poll_seconds=0.05) if args.updates else None
         server = EstimationServer(
@@ -267,14 +522,7 @@ def main(argv: list[str] | None = None) -> int:
             if worker is not None:
                 worker.start()
             for round_no in range(args.updates):
-                n = 2000
-                start = db.table("ratings").num_rows + 1_000_000 * (round_no + 1)
-                ingest.insert("ratings", {
-                    "id": np.arange(start, start + n),
-                    "movie_id": (rng.zipf(1.4, n) - 1) % db.table("movies").num_rows,
-                    "stars": rng.integers(1, 6, n),
-                })
-                ingest.delete("ratings", rng.choice(db.table("ratings").num_rows, 500, replace=False))
+                _ingest_round(ingest, db, rng, round_no)
             report = generate_load(
                 server, queries, args.requests, concurrency=args.concurrency
             )

@@ -49,6 +49,12 @@ from ..estimators.base import CardinalityEstimator
 __all__ = ["StatsVersion", "StatsCatalog", "CatalogBackedSafeBound"]
 
 _MANIFEST_NAME = "MANIFEST.json"
+# The arena-generation stamp published next to the manifest: a tiny file
+# holding the latest version number.  Fork-pool workers (and other
+# processes — or other hosts sharing the catalog over a filesystem) read
+# it per batch as a cheap "did anything publish?" check, and only parse
+# the manifest / re-open an archive on a mismatch.
+_GENERATION_NAME = "GENERATION"
 
 
 @dataclass(frozen=True)
@@ -115,6 +121,35 @@ class StatsCatalog:
         tmp = path.with_name(path.name + ".incoming")
         tmp.write_text(json.dumps({"database": database, "versions": entries}, indent=2))
         os.replace(tmp, path)
+        # Stamp the generation *after* the manifest: a reader that sees
+        # the new generation is guaranteed to find the version it
+        # advertises already published.
+        self._write_generation(database, entries[-1]["version"] if entries else 0)
+
+    def _generation_path(self, database: str) -> Path:
+        return self._db_dir(database) / _GENERATION_NAME
+
+    def _write_generation(self, database: str, generation: int) -> None:
+        path = self._generation_path(database)
+        tmp = path.with_name(path.name + ".incoming")
+        tmp.write_text(f"{generation}\n")
+        os.replace(tmp, path)
+
+    def generation(self, database: str) -> int:
+        """The published generation of ``database``: the latest version
+        number, read from the generation stamp (O(one tiny file read),
+        no manifest parse).  Catalogs written before the stamp existed
+        fall back to the manifest; 0 means nothing published."""
+        try:
+            return int(self._generation_path(database).read_text())
+        except FileNotFoundError:
+            entries = self._read_entries(database)
+            return entries[-1]["version"] if entries else 0
+        except ValueError:
+            # A torn/garbage stamp must not wedge serving — fall back to
+            # the manifest, which publish writes atomically.
+            entries = self._read_entries(database)
+            return entries[-1]["version"] if entries else 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -316,6 +351,7 @@ class CatalogBackedSafeBound(CardinalityEstimator):
         self._swap_lock = threading.Lock()
         self._safebound: SafeBound | None = None
         self._version: int | None = None
+        self.last_refresh_error: Exception | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -390,6 +426,31 @@ class CatalogBackedSafeBound(CardinalityEstimator):
                 self._safebound = sb
                 self._version = latest.version
             return True
+
+    def generation(self) -> int:
+        """The catalog's published generation for this database (the
+        latest version number; one tiny file read)."""
+        return self.catalog.generation(self.database)
+
+    def refresh_if_stale(self, db: Database | None = None) -> bool:
+        """The cheap cross-process hot-swap check: compare the catalog's
+        generation stamp against the served version and :meth:`refresh`
+        only on a mismatch.  Fork-pool workers call this once per batch —
+        the stamp read is a few microseconds, and for arena archives the
+        re-open on mismatch is O(manifest) (the data pages are mmapped,
+        shared, and untouched until used).
+
+        Errors are swallowed (recorded in ``last_refresh_error``): a
+        transient catalog IO failure must degrade to serving the current
+        version, never fail a batch.
+        """
+        try:
+            if self.generation() == self._version:
+                return False
+            return self.refresh(db)
+        except Exception as exc:
+            self.last_refresh_error = exc
+            return False
 
     def _ensure_tracking(self, db: Database | None) -> None:
         """Attach update tracking to the served stats if it is missing."""

@@ -171,5 +171,11 @@ class RepublishWorker(threading.Thread):
             self._stop_event.wait(self.poll_seconds)
 
     def stop(self, timeout: float | None = 30.0) -> None:
+        """Signal the worker to exit and wait for it.  Idempotent, and
+        safe on a worker that was never started — ``join`` on an
+        unstarted thread raises ``RuntimeError``, which used to make
+        error-path cleanup (construct, fail before ``start``, stop)
+        blow up in the ``finally`` block."""
         self._stop_event.set()
-        self.join(timeout)
+        if self.ident is not None:
+            self.join(timeout)

@@ -1,0 +1,545 @@
+"""Network serving tier: a socket facade in front of :class:`EstimationServer`.
+
+``generate_load`` drives the micro-batching server from in-process
+threads, which measures the batching engine but not serving: no syscalls,
+no codec, no scheduler handoff between client and server processes.  This
+module puts a real wire between the two — a length-prefixed JSON protocol
+(``service/wire.py``) served by a thread-per-connection front end — so
+throughput numbers are end-to-end from separate client processes, the
+shape a "millions of users" claim actually requires.
+
+Verbs (the ``op`` field of each request frame):
+
+* ``bound`` — one query, one bound.  Admission control surfaces as a
+  typed response: ``{"ok": false, "error": "overloaded", "queue_depth":
+  n, "max_queue": m, "retry_after_ms": t}`` — the client's cue to back
+  off, never a dropped connection.
+* ``bound_batch`` — several queries; per-item results so one overloaded
+  slot does not discard the computed remainder.
+* ``metrics`` — the server's full metrics snapshot.  In fork-pool mode
+  this includes the ``observability`` block aggregated from the
+  fork-shared registry, i.e. kernel/cache/swap counters flushed by every
+  worker process.
+* ``health`` — liveness plus the served statistics version and the
+  catalog generation (the cross-process hot-swap handshake state).
+
+Malformed input degrades per-connection: a bad frame gets a
+``bad_request`` response (when the stream is still framed) and the
+connection is closed; the listener and every other connection keep
+serving.
+
+:class:`NetClient` is the thin typed client; :func:`generate_load_net`
+forks real client *processes* around it — the network twin of
+``generate_load`` and what ``bench_net_throughput.py`` measures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+
+from ..db.query import Query
+from .server import EstimationServer, ServerOverloadedError
+from .wire import (
+    FrameError,
+    MAX_FRAME_BYTES,
+    query_from_wire,
+    query_to_wire,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["NetServer", "NetClient", "NetRequestError", "generate_load_net"]
+
+
+class NetRequestError(RuntimeError):
+    """The server answered a request with a non-overload error."""
+
+    def __init__(self, error: str, detail: str = "") -> None:
+        super().__init__(f"{error}: {detail}" if detail else error)
+        self.error = error
+        self.detail = detail
+
+
+class NetServer:
+    """A thread-per-connection socket front end over an estimation server.
+
+    The protocol layer adds no policy of its own: admission control,
+    batching, hot swap and metrics all live in the
+    :class:`EstimationServer` (and below); this class only translates
+    frames to ``submit`` calls and results/errors back to frames.
+    """
+
+    def __init__(
+        self,
+        server: EstimationServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        request_timeout: float = 30.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        backlog: int = 128,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self.backlog = backlog
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conn_lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
+        self._stopping = False
+        self.connections_served = 0
+        self.frame_errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "NetServer":
+        if self._listener is not None:
+            raise RuntimeError("network server already started")
+        listener = socket.create_server(
+            (self.host, self.port), backlog=self.backlog, reuse_port=False
+        )
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._stopping = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="net-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping = True
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(5.0)
+            self._accept_thread = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping and listener is not None:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                if self._stopping:
+                    conn.close()
+                    break
+                self._connections.add(conn)
+            self.connections_served += 1
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    request = read_frame(conn, self.max_frame_bytes)
+                except FrameError as exc:
+                    # The stream may be unframed garbage at this point, so
+                    # answer once (best-effort) and drop the connection.
+                    self.frame_errors += 1
+                    try:
+                        write_frame(
+                            conn,
+                            {"ok": False, "error": "bad_request", "detail": str(exc)},
+                        )
+                    except OSError:
+                        pass
+                    return
+                if request is None:
+                    return  # client closed cleanly
+                write_frame(conn, self._handle(request))
+        except OSError:
+            pass  # connection reset / server stopping
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def _handle(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "bound":
+            return self._handle_bound(request)
+        if op == "bound_batch":
+            return self._handle_bound_batch(request)
+        if op == "metrics":
+            return {"ok": True, "metrics": self.server.metrics.snapshot()}
+        if op == "health":
+            return self._handle_health()
+        return {"ok": False, "error": "bad_request", "detail": f"unknown op {op!r}"}
+
+    def _overloaded(self, exc: ServerOverloadedError) -> dict:
+        return {
+            "ok": False,
+            "error": "overloaded",
+            "detail": str(exc),
+            "queue_depth": getattr(exc, "queue_depth", None),
+            "max_queue": getattr(exc, "max_queue", None),
+            "retry_after_ms": 1.0,
+        }
+
+    def _handle_bound(self, request: dict) -> dict:
+        try:
+            query = query_from_wire(request.get("query"))
+        except (ValueError, TypeError, KeyError) as exc:
+            return {"ok": False, "error": "bad_request", "detail": str(exc)}
+        try:
+            future = self.server.submit(query)
+        except ServerOverloadedError as exc:
+            return self._overloaded(exc)
+        except RuntimeError as exc:  # server stopped / not accepting
+            return {"ok": False, "error": "unavailable", "detail": str(exc)}
+        try:
+            return {"ok": True, "bound": future.result(self.request_timeout)}
+        except Exception as exc:
+            return {"ok": False, "error": "server_error", "detail": repr(exc)}
+
+    def _handle_bound_batch(self, request: dict) -> dict:
+        payload = request.get("queries")
+        if not isinstance(payload, list):
+            return {
+                "ok": False,
+                "error": "bad_request",
+                "detail": "'queries' must be a list",
+            }
+        try:
+            queries = [query_from_wire(q) for q in payload]
+        except (ValueError, TypeError, KeyError) as exc:
+            return {"ok": False, "error": "bad_request", "detail": str(exc)}
+        # Submit individually so the micro-batcher coalesces them with
+        # whatever else is in flight; per-item status so one overloaded
+        # admission does not discard the rest of the batch.
+        slots: list[dict] = []
+        futures = []
+        for query in queries:
+            try:
+                futures.append((len(slots), self.server.submit(query)))
+                slots.append({})
+            except ServerOverloadedError as exc:
+                slots.append(self._overloaded(exc))
+            except RuntimeError as exc:
+                slots.append({"ok": False, "error": "unavailable", "detail": str(exc)})
+        for index, future in futures:
+            try:
+                slots[index] = {"ok": True, "bound": future.result(self.request_timeout)}
+            except Exception as exc:
+                slots[index] = {"ok": False, "error": "server_error", "detail": repr(exc)}
+        return {"ok": True, "results": slots}
+
+    def _handle_health(self) -> dict:
+        estimator = self.server.estimator
+        info = {
+            "ok": True,
+            "status": "serving" if self.server.running else "stopped",
+            "pid": os.getpid(),
+            "num_workers": self.server.num_workers,
+            "worker_pids": self.server.worker_pids(),
+        }
+        version = getattr(estimator, "version", None)
+        if version is not None:
+            info["version"] = version
+        generation = getattr(estimator, "generation", None)
+        if callable(generation):
+            try:
+                info["generation"] = generation()
+            except Exception:
+                pass
+        return info
+
+
+class NetClient:
+    """A blocking request/response client for one server connection.
+
+    Not thread-safe: a connection carries one in-flight request at a
+    time, so give each client thread its own ``NetClient`` (they are one
+    socket each).  Overload responses raise
+    :class:`~repro.service.server.ServerOverloadedError`, so retry logic
+    written against the in-process server works unchanged over the wire.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        connect_retries: int = 40,
+        connect_retry_seconds: float = 0.25,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        last_error: Exception | None = None
+        for _ in range(max(1, connect_retries)):
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError as exc:
+                last_error = exc
+                time.sleep(connect_retry_seconds)
+        else:
+            raise ConnectionError(
+                f"could not connect to {host}:{port}: {last_error}"
+            ) from last_error
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        write_frame(self._sock, payload)
+        response = read_frame(self._sock)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        return response
+
+    @staticmethod
+    def _raise_for(response: dict) -> None:
+        error = response.get("error", "unknown")
+        if error == "overloaded":
+            exc = ServerOverloadedError(response.get("detail", "server overloaded"))
+            exc.queue_depth = response.get("queue_depth")
+            exc.max_queue = response.get("max_queue")
+            raise exc
+        raise NetRequestError(error, response.get("detail", ""))
+
+    def bound(self, query: "Query | dict") -> float:
+        """The bound of one query (a :class:`Query` or its wire form)."""
+        wire = query if isinstance(query, dict) else query_to_wire(query)
+        response = self.request({"op": "bound", "query": wire})
+        if not response.get("ok"):
+            self._raise_for(response)
+        return response["bound"]
+
+    def bound_batch(self, queries) -> list[float]:
+        """Bounds for several queries; raises on the first failed slot."""
+        wires = [q if isinstance(q, dict) else query_to_wire(q) for q in queries]
+        response = self.request({"op": "bound_batch", "queries": wires})
+        if not response.get("ok"):
+            self._raise_for(response)
+        bounds = []
+        for slot in response["results"]:
+            if not slot.get("ok"):
+                self._raise_for(slot)
+            bounds.append(slot["bound"])
+        return bounds
+
+    def metrics(self) -> dict:
+        response = self.request({"op": "metrics"})
+        if not response.get("ok"):
+            self._raise_for(response)
+        return response["metrics"]
+
+    def health(self) -> dict:
+        response = self.request({"op": "health"})
+        if not response.get("ok"):
+            self._raise_for(response)
+        return response
+
+
+# ----------------------------------------------------------------------
+# Multi-process load generation
+# ----------------------------------------------------------------------
+def _client_process(
+    host: str,
+    port: int,
+    wires: list[dict],
+    num_requests: int,
+    worker: int,
+    stride: int,
+    concurrency: int,
+    timeout: float,
+    retry_rejected: bool,
+    barrier,
+    out_queue,
+) -> None:
+    """One load-generating client process: ``concurrency`` threads, each
+    with its own connection, serving this process's slice of the global
+    request index space."""
+    results: list[tuple[int, float | None, str | None]] = []
+    results_lock = threading.Lock()
+    rejections = [0] * concurrency
+
+    def client_thread(thread_no: int) -> None:
+        try:
+            client = NetClient(host, port, timeout=timeout)
+        except Exception as exc:
+            with results_lock:
+                for i in range(
+                    worker + thread_no * stride, num_requests, stride * concurrency
+                ):
+                    results.append((i, None, repr(exc)))
+            return
+        with client:
+            for i in range(
+                worker + thread_no * stride, num_requests, stride * concurrency
+            ):
+                wire = wires[i % len(wires)]
+                try:
+                    while True:
+                        try:
+                            value = client.bound(wire)
+                            break
+                        except ServerOverloadedError:
+                            rejections[thread_no] += 1
+                            if not retry_rejected:
+                                value = None
+                                break
+                            time.sleep(0.001)
+                    with results_lock:
+                        results.append((i, value, None))
+                except Exception as exc:
+                    with results_lock:
+                        results.append((i, None, repr(exc)))
+
+    threads = [
+        threading.Thread(target=client_thread, args=(t,), daemon=True)
+        for t in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    for t in threads:
+        t.join()
+    out_queue.put((worker, results, int(sum(rejections))))
+
+
+def generate_load_net(
+    host: str,
+    port: int,
+    queries: list,
+    num_requests: int,
+    *,
+    processes: int = 2,
+    concurrency: int = 4,
+    timeout: float = 60.0,
+    retry_rejected: bool = True,
+) -> dict:
+    """Drive a :class:`NetServer` with ``num_requests`` single-query
+    requests from ``processes`` separate client processes, each running
+    ``concurrency`` connection threads (round-robin over ``queries``).
+
+    The report matches :func:`~repro.service.server.generate_load` —
+    results index-aligned with the request order, per-request errors, the
+    rejection count — so benchmarks can put the two side by side; the
+    difference is that every request here crossed a process boundary and
+    a socket.  Queries are pre-encoded to their wire form in the parent,
+    so child processes do no codec setup of their own.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    ctx = multiprocessing.get_context("fork")
+    wires = [q if isinstance(q, dict) else query_to_wire(q) for q in queries]
+    # Threads from all processes form one global round-robin: request i
+    # goes to process (i mod processes), thread ((i // processes) mod
+    # concurrency) of it.
+    barrier = ctx.Barrier(processes + 1)
+    out_queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_client_process,
+            args=(
+                host,
+                port,
+                wires,
+                num_requests,
+                p,
+                processes,
+                concurrency,
+                timeout,
+                retry_rejected,
+                barrier,
+                out_queue,
+            ),
+            daemon=True,
+        )
+        for p in range(processes)
+    ]
+    for w in workers:
+        w.start()
+    # Children connect first (threads start before the barrier), so the
+    # timed window covers requests, not connection setup.
+    barrier.wait()
+    started = time.perf_counter()
+    results: list[float | None] = [None] * num_requests
+    errors: dict[int, str] = {}
+    rejections = 0
+    for _ in workers:
+        _worker, entries, rejected = out_queue.get(timeout=timeout + 60.0)
+        rejections += rejected
+        for index, value, error in entries:
+            results[index] = value
+            if error is not None:
+                errors[index] = error
+    elapsed = time.perf_counter() - started
+    for w in workers:
+        w.join(10.0)
+    completed = sum(r is not None for r in results)
+    return {
+        "requests": num_requests,
+        "completed": completed,
+        "processes": processes,
+        "concurrency": concurrency,
+        "seconds": elapsed,
+        "qps": completed / elapsed if elapsed > 0 else float("inf"),
+        "rejections": rejections,
+        "errors": dict(sorted(errors.items())),
+        "results": results,
+    }

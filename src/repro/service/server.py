@@ -23,9 +23,16 @@ several batches evaluate concurrently on separate cores.  The workers
 arena-backed (mmap) statistics cost almost nothing per worker — the
 mapped pages are file-backed and shared read-only by the OS, and each
 child's incremental resident memory is just what it privately touches.
-The pool serves a frozen snapshot of the estimator: catalog refresh is
-disabled in this mode (children would not observe a hot swap), so pair it
-with immutable published versions, not with live ingest.
+Hot swap composes with the pool through the catalog's generation stamp:
+when the estimator exposes ``refresh_if_stale`` (a
+``CatalogBackedSafeBound``), every worker re-checks the stamp at the
+start of each batch and re-opens the newly published arena version
+read-only on a mismatch — mmap makes the re-open O(manifest) — so a
+publish propagates to every worker without dropping a request, and live
+ingest (padding in the parent, recompress-and-republish in the
+background) works under ``num_workers > 1``.  An estimator *without* the
+handshake still serves a frozen forked snapshot, and refresh polling
+stays disabled for it.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from ..db.query import Query
-from ..obs.metrics import MetricsRegistry, get_metrics, inc as _metric_inc, install_metrics, observe as _metric_observe
+from ..obs.metrics import MetricsRegistry, get_metrics, inc as _metric_inc, install_metrics, observe as _metric_observe, uninstall_metrics
 from ..obs.tracing import span as _span
 from .metrics import ServerMetrics
 
@@ -50,7 +57,15 @@ __all__ = ["ServerOverloadedError", "EstimationServer", "generate_load"]
 
 
 class ServerOverloadedError(RuntimeError):
-    """Admission control: the request queue is full."""
+    """Admission control: the request queue is full.
+
+    ``queue_depth``/``max_queue`` carry the live backlog and capacity at
+    rejection time — the network tier forwards them in its typed
+    overload response.
+    """
+
+    queue_depth: int | None = None
+    max_queue: int | None = None
 
 
 # ----------------------------------------------------------------------
@@ -81,7 +96,16 @@ def _pool_worker_init() -> None:
 
 def _pool_estimate(key: int, queries: list[Query]) -> list[float]:
     try:
-        return _fork_estimators[key].estimate_batch(queries)
+        estimator = _fork_estimators[key]
+        # The cross-process hot-swap handshake: one generation-stamp read
+        # per batch; on mismatch this worker re-opens the newly published
+        # version (its private copy-on-write estimator swaps — siblings
+        # run their own check on their next batch).  Errors degrade to
+        # serving the current version inside refresh_if_stale.
+        check = getattr(estimator, "refresh_if_stale", None)
+        if check is not None and check():
+            _metric_inc("server.worker_swaps")
+        return estimator.estimate_batch(queries)
     finally:
         # Publish this worker's kernel/cache counters into the fork-shared
         # segment so the parent's snapshot aggregates them.
@@ -147,9 +171,12 @@ class EstimationServer:
     ``num_workers > 1`` forks that many worker processes at :meth:`start`
     (after the estimator is loaded, so they inherit it — and its mmap
     pages — by fork) and evaluates micro-batches on the pool, several in
-    flight at once.  The pool serves a frozen estimator snapshot: refresh
-    polling is disabled, and the estimator must not be mutated while the
-    pool is running.
+    flight at once.  An estimator with the ``refresh_if_stale`` handshake
+    (``CatalogBackedSafeBound``) hot-swaps in pool mode too: workers
+    check the catalog's generation stamp per batch and re-open a newly
+    published version; the parent keeps its own refresh poll so metrics
+    and ingest see the swap.  Estimators without the handshake serve a
+    frozen forked snapshot with refresh polling disabled.
     """
 
     def __init__(
@@ -191,6 +218,7 @@ class EstimationServer:
         self.json_log = json_log
         self._json_log_lock = threading.Lock()
         self._obs_registry: MetricsRegistry | None = None
+        self._installed_registry = False
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._thread: threading.Thread | None = None
         self._pool = None
@@ -204,9 +232,12 @@ class EstimationServer:
         # callback, or the dead-worker reaper — which is what releases its
         # in-flight permit and resolves its futures.  Entries carry their
         # own semaphore so a settle that straddles a stop/start cycle
-        # releases the permit it actually holds.
+        # releases the permit it actually holds, plus their dispatch
+        # timestamp so pool-mode batch latency lands in the obs registry.
         self._inflight_lock = threading.Lock()
-        self._inflight_batches: dict[int, tuple[list[_Request], threading.BoundedSemaphore]] = {}
+        self._inflight_batches: dict[
+            int, tuple[list[_Request], threading.BoundedSemaphore, float]
+        ] = {}
         self._dispatch_counter = itertools.count()
         self._known_worker_pids: set[int] = set()
         self._accepting = False
@@ -228,6 +259,7 @@ class EstimationServer:
             registry = get_metrics()
             if registry is None or not registry.shared:
                 registry = install_metrics(MetricsRegistry(shared=True))
+                self._installed_registry = True
             self._obs_registry = registry
             self.metrics.obs_source = registry.snapshot
             self.metrics.workers_source = self._worker_liveness
@@ -274,6 +306,14 @@ class EstimationServer:
             if self._fork_key is not None:
                 _release_fork_pool(self._fork_key)
                 self._fork_key = None
+        # Retire the registry this server installed (a pre-existing, e.g.
+        # harness-level, one is left alone).  Post-stop snapshots keep
+        # working: metrics.obs_source holds the registry object itself,
+        # only the module-global helper sink is cleared.
+        if self._installed_registry:
+            self._installed_registry = False
+            if get_metrics() is self._obs_registry:
+                uninstall_metrics()
 
     def worker_pids(self) -> list[int]:
         """PIDs of the pool's worker processes (empty without a pool) —
@@ -319,10 +359,17 @@ class EstimationServer:
         except queue.Full:
             self.metrics.record_rejected()
             _metric_inc("server.rejected")
-            self._log_json("rejected", queue_depth=self._queue.maxsize)
-            raise ServerOverloadedError(
-                f"request queue full ({self._queue.maxsize} pending)"
-            ) from None
+            # The *live* backlog, not the constant capacity: the worker
+            # may have drained entries between the failed put and here,
+            # and an operator reading the log needs the actual depth.
+            depth = self._queue.qsize()
+            self._log_json("rejected", queue_depth=depth, max_queue=self._queue.maxsize)
+            exc = ServerOverloadedError(
+                f"request queue full ({depth}/{self._queue.maxsize} pending)"
+            )
+            exc.queue_depth = depth
+            exc.max_queue = self._queue.maxsize
+            raise exc from None
         self.metrics.record_accepted()
         return request.future
 
@@ -411,7 +458,7 @@ class EstimationServer:
             inflight.acquire()
             entry = next(self._dispatch_counter)
             with self._inflight_lock:
-                self._inflight_batches[entry] = (batch, inflight)
+                self._inflight_batches[entry] = (batch, inflight, started)
             try:
                 with _span("server.dispatch", size=len(batch)):
                     pool.apply_async(
@@ -442,11 +489,16 @@ class EstimationServer:
             item = self._inflight_batches.pop(entry, None)
         if item is None:
             return  # already reaped after a worker death
-        batch, inflight = item
+        batch, inflight, dispatched = item
         inflight.release()
         if exc is not None:
             self._fail_batch(batch, exc)
         else:
+            # Dispatch -> settle covers the pool round trip (queue + IPC +
+            # worker estimate) — the pool-mode twin of the single-process
+            # branch's server.batch_seconds observation, so pool latency
+            # shows up in obs snapshots instead of silently vanishing.
+            _metric_observe("server.batch_seconds", time.perf_counter() - dispatched)
             self._finish_batch(batch, estimates)
 
     def _reap_dead_workers(self) -> None:
@@ -478,11 +530,25 @@ class EstimationServer:
         if lost:
             self.metrics.record_reap(len(lost))
             _metric_inc("server.worker_reaps")
-        for batch, inflight in lost:
+        for batch, inflight, _dispatched in lost:
             inflight.release()
             self._fail_batch(batch, RuntimeError(reason))
 
     def _finish_batch(self, batch: list[_Request], estimates) -> None:
+        # A mismatched estimate count must fail loudly: zip() would
+        # silently truncate, leaving the extra futures unresolved (clients
+        # hang until timeout) and over-counting record_completed.
+        estimates = list(estimates) if estimates is not None else []
+        if len(estimates) != len(batch):
+            self._fail_batch(
+                batch,
+                RuntimeError(
+                    f"estimator returned {len(estimates)} estimates for a "
+                    f"batch of {len(batch)} queries — refusing to resolve a "
+                    f"truncated batch"
+                ),
+            )
+            return
         finished = time.perf_counter()
         for request, estimate in zip(batch, estimates):
             self.metrics.request_latency.record(finished - request.enqueued_at)
@@ -537,9 +603,13 @@ class EstimationServer:
                 pass
 
     def _maybe_refresh(self) -> None:
-        if self._pool is not None:
-            # Worker processes hold a forked snapshot; a parent-side hot
-            # swap would silently diverge from what the pool serves.
+        if self._pool is not None and not hasattr(self.estimator, "refresh_if_stale"):
+            # Without the generation handshake the workers hold a frozen
+            # forked snapshot; a parent-side hot swap would silently
+            # diverge from what the pool serves.  *With* the handshake the
+            # workers re-check the catalog per batch, so the parent's
+            # refresh below keeps its own view (version, staleness,
+            # metrics) in step with what the pool is already serving.
             return
         refresh = getattr(self.estimator, "refresh", None)
         if refresh is None:

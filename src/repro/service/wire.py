@@ -1,0 +1,198 @@
+"""Wire format of the network serving tier: query codec + framing.
+
+The protocol is deliberately boring — length-prefixed JSON frames over a
+stream socket.  Each frame is a 4-byte big-endian unsigned payload length
+followed by that many bytes of UTF-8 JSON.  JSON keeps the protocol
+debuggable (``nc`` + ``python -m json.tool`` is a working client) and the
+query model is small enough that codec cost is noise next to bound
+computation; the length prefix gives exact message boundaries without a
+streaming parser, and a hard frame-size cap bounds what a malformed or
+hostile peer can make the server allocate.
+
+The query codec maps :class:`~repro.db.query.Query` and the predicate
+AST (``core/predicates.py``) onto plain JSON values.  Round-tripping is
+exact for every predicate class the executor supports — numpy scalar
+predicate values are normalised to their Python equivalents, which
+compare (and hash) equal, so a round-tripped query produces bit-identical
+bounds.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+from ..core.predicates import And, Eq, InList, Like, Or, Predicate, Range
+from ..db.query import Query
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "query_to_wire",
+    "query_from_wire",
+    "predicate_to_wire",
+    "predicate_from_wire",
+    "write_frame",
+    "read_frame",
+]
+
+# Generous for bound requests (a large query batch is a few hundred KiB
+# of JSON) yet small enough that a garbage length prefix cannot make the
+# server allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A malformed frame: oversized, truncated, or not valid JSON."""
+
+
+# ----------------------------------------------------------------------
+# Query codec
+# ----------------------------------------------------------------------
+def _plain(value):
+    """Normalise numpy scalars to plain Python so json.dumps accepts
+    them; int/float/str/bool pass through."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def predicate_to_wire(predicate: Predicate) -> dict:
+    if isinstance(predicate, Eq):
+        return {"kind": "eq", "column": predicate.column, "value": _plain(predicate.value)}
+    if isinstance(predicate, Range):
+        return {
+            "kind": "range",
+            "column": predicate.column,
+            "low": _plain(predicate.low),
+            "high": _plain(predicate.high),
+            "low_inclusive": predicate.low_inclusive,
+            "high_inclusive": predicate.high_inclusive,
+        }
+    if isinstance(predicate, Like):
+        return {"kind": "like", "column": predicate.column, "pattern": predicate.pattern}
+    if isinstance(predicate, InList):
+        return {
+            "kind": "in",
+            "column": predicate.column,
+            "values": [_plain(v) for v in predicate.values],
+        }
+    if isinstance(predicate, (And, Or)):
+        return {
+            "kind": "and" if isinstance(predicate, And) else "or",
+            "children": [predicate_to_wire(c) for c in predicate.children],
+        }
+    raise TypeError(f"predicate {type(predicate).__name__} has no wire form")
+
+
+def predicate_from_wire(payload: dict) -> Predicate:
+    kind = payload.get("kind")
+    if kind == "eq":
+        return Eq(payload["column"], payload["value"])
+    if kind == "range":
+        return Range(
+            payload["column"],
+            low=payload.get("low"),
+            high=payload.get("high"),
+            low_inclusive=payload.get("low_inclusive", True),
+            high_inclusive=payload.get("high_inclusive", True),
+        )
+    if kind == "like":
+        return Like(payload["column"], payload["pattern"])
+    if kind == "in":
+        return InList(payload["column"], payload["values"])
+    if kind in ("and", "or"):
+        children = [predicate_from_wire(c) for c in payload["children"]]
+        return And(children) if kind == "and" else Or(children)
+    raise ValueError(f"unknown predicate kind {kind!r}")
+
+
+def query_to_wire(query: Query) -> dict:
+    return {
+        "name": query.name,
+        "relations": dict(query.relations),
+        "joins": [
+            [j.left.alias, j.left.column, j.right.alias, j.right.column]
+            for j in query.joins
+        ],
+        "predicates": {
+            alias: predicate_to_wire(p) for alias, p in query.predicates.items()
+        },
+    }
+
+
+def query_from_wire(payload: dict) -> Query:
+    if not isinstance(payload, dict):
+        raise ValueError("query payload must be a JSON object")
+    query = Query(name=payload.get("name") or "")
+    relations = payload.get("relations") or {}
+    if not isinstance(relations, dict):
+        raise ValueError("query 'relations' must be an object")
+    for alias, table in relations.items():
+        query.add_relation(alias, table)
+    for join in payload.get("joins") or []:
+        if not isinstance(join, (list, tuple)) or len(join) != 4:
+            raise ValueError("each join must be [alias, column, alias, column]")
+        query.add_join(*join)
+    for alias, pred in (payload.get("predicates") or {}).items():
+        query.add_predicate(alias, predicate_from_wire(pred))
+    return query
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def write_frame(sock: socket.socket, payload: dict) -> None:
+    body = json.dumps(payload, separators=(",", ":"), default=_json_default).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _json_default(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return repr(value)
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes | None:
+    """``n`` bytes, or None on clean EOF at a frame boundary; raises
+    :class:`FrameError` on EOF mid-frame."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> dict | None:
+    """The next frame's decoded JSON payload, or None on clean EOF."""
+    header = _read_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > max_bytes:
+        raise FrameError(f"frame of {length} bytes exceeds the {max_bytes} cap")
+    body = _read_exact(sock, length)
+    if body is None:
+        raise FrameError("connection closed mid-frame")
+    try:
+        payload = json.loads(body)
+    except ValueError as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return payload

@@ -58,7 +58,7 @@ class TestStatsCatalog:
         catalog.publish("db1", built.stats)
         catalog.publish("db1", built.stats, stats_format="v1")
         names = {p.name for p in (tmp_path / "db1").iterdir()}
-        assert names == {"MANIFEST.json", "v000001.sba", "v000002.npz"}
+        assert names == {"MANIFEST.json", "GENERATION", "v000001.sba", "v000002.npz"}
 
     def test_publish_formats_interoperate_with_identical_digest(
         self, built, tiny_db, tmp_path
@@ -335,3 +335,54 @@ class TestCatalogBackedSafeBound:
         assert catalog.latest("stats_ceb").version == 1
         for record in records:
             assert record.estimate >= record.true_cardinality * (1 - 1e-9)
+
+
+class TestGenerationStamp:
+    """The cross-process hot-swap handshake state (GENERATION file)."""
+
+    def test_publish_writes_generation_stamp(self, built, tmp_path):
+        catalog = StatsCatalog(tmp_path)
+        assert catalog.generation("db1") == 0  # nothing published
+        catalog.publish("db1", built.stats)
+        assert (tmp_path / "db1" / "GENERATION").read_text().strip() == "1"
+        assert catalog.generation("db1") == 1
+        catalog.publish("db1", built.stats)
+        assert catalog.generation("db1") == 2
+
+    def test_generation_falls_back_to_manifest(self, built, tmp_path):
+        """Catalogs written before the stamp existed (or with a torn
+        stamp) must still answer from the manifest."""
+        catalog = StatsCatalog(tmp_path)
+        catalog.publish("db1", built.stats)
+        catalog.publish("db1", built.stats)
+        stamp = tmp_path / "db1" / "GENERATION"
+        stamp.unlink()
+        assert catalog.generation("db1") == 2
+        stamp.write_text("not a number")
+        assert catalog.generation("db1") == 2
+
+    def test_refresh_if_stale_swaps_only_on_mismatch(self, tiny_db, built, tmp_path):
+        catalog = StatsCatalog(tmp_path)
+        estimator = CatalogBackedSafeBound(catalog, "tiny")
+        estimator.build(tiny_db)
+        assert estimator.generation() == 1
+        assert estimator.refresh_if_stale() is False  # current: no reload
+        catalog.publish("tiny", built.stats, note="rebuild")
+        assert estimator.refresh_if_stale() is True
+        assert estimator.version == 2
+        assert estimator.refresh_if_stale() is False
+
+    def test_refresh_if_stale_swallows_catalog_errors(self, tiny_db, tmp_path):
+        """A transient catalog failure must degrade to serving the
+        current version, never raise into the batch path."""
+        catalog = StatsCatalog(tmp_path)
+        estimator = CatalogBackedSafeBound(catalog, "tiny")
+        estimator.build(tiny_db)
+
+        def boom():
+            raise OSError("catalog unreachable")
+
+        estimator.generation = boom
+        assert estimator.refresh_if_stale() is False
+        assert isinstance(estimator.last_refresh_error, OSError)
+        assert estimator.version == 1

@@ -287,3 +287,29 @@ class TestRepublish:
         assert worker.published, "worker must republish once staleness crosses"
         assert estimator.version == worker.published[-1].version
         assert_bounds_dominate(estimator, db, make_queries())
+
+    def test_worker_stop_before_start_is_safe(self):
+        """Regression: ``stop()`` on a never-started worker used to raise
+        ``RuntimeError: cannot join thread before it is started``, which
+        blew up error-path cleanup (construct, fail before start, stop
+        in a finally block)."""
+
+        class _StubIngest:
+            def maybe_republish(self, note=""):
+                return None
+
+        worker = RepublishWorker(_StubIngest())
+        worker.stop()  # never started: must not raise
+        worker.stop()  # ... and stays idempotent
+        assert not worker.is_alive()
+
+    def test_worker_stop_is_idempotent_after_start(self):
+        class _StubIngest:
+            def maybe_republish(self, note=""):
+                return None
+
+        worker = RepublishWorker(_StubIngest(), poll_seconds=0.01)
+        worker.start()
+        worker.stop()
+        worker.stop()
+        assert not worker.is_alive()

@@ -153,6 +153,28 @@ class TestAdmissionControl:
             for future in futures:
                 assert future.result(timeout=10.0) == built.bound(query)
 
+    def test_rejection_carries_live_depth_not_capacity(self, built):
+        """Regression: the rejection log (and error) used to report
+        ``queue_depth=maxsize`` — the constant capacity — instead of the
+        live backlog at rejection time."""
+        slow = _SlowEstimator(built, delay=0.05)
+        query = _queries()[0]
+        with EstimationServer(slow, max_queue=2, max_batch=1, max_wait_ms=0.0) as server:
+            caught = None
+            futures = []
+            for _ in range(50):
+                try:
+                    futures.append(server.submit(query))
+                except ServerOverloadedError as exc:
+                    caught = exc
+            assert caught is not None
+            assert caught.max_queue == 2
+            assert isinstance(caught.queue_depth, int)
+            assert 0 <= caught.queue_depth <= 2
+            assert f"({caught.queue_depth}/2 pending)" in str(caught)
+            for future in futures:
+                future.result(timeout=10.0)
+
     def test_failed_batch_propagates_to_clients(self):
         with EstimationServer(_FailingEstimator()) as server:
             future = server.submit(_queries()[0])
@@ -162,6 +184,28 @@ class TestAdmissionControl:
             while server.metrics.failed < 1 and time.monotonic() < deadline:
                 time.sleep(0.001)
             assert server.metrics.failed == 1
+
+    def test_mismatched_estimate_count_fails_batch_loudly(self, built):
+        """Regression: an estimator returning fewer estimates than
+        queries used to zip-truncate — the unpaired futures hung until
+        client timeout and ``completed`` over-counted."""
+
+        class _TruncatingEstimator:
+            def __init__(self, inner) -> None:
+                self.inner = inner
+
+            def estimate_batch(self, queries):
+                return self.inner.estimate_batch(queries)[:-1]
+
+        with EstimationServer(_TruncatingEstimator(built)) as server:
+            future = server.submit(_queries()[0])
+            with pytest.raises(RuntimeError, match="truncated batch"):
+                future.result(timeout=5.0)
+            deadline = time.monotonic() + 2.0
+            while server.metrics.failed < 1 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert server.metrics.failed == 1
+            assert server.metrics.completed == 0
 
     def test_generate_load_survives_failing_requests(self):
         """Regression: a failed future used to kill its client thread,
@@ -297,6 +341,10 @@ class TestMultiProcess:
         assert [f.result(timeout=1.0) for f in futures] == direct
 
     def test_refresh_disabled_in_pool_mode(self, built):
+        """An estimator *without* the ``refresh_if_stale`` handshake keeps
+        the frozen-snapshot semantics: the parent never polls refresh()
+        on it, because a parent-side swap could not reach the forked
+        workers and would silently diverge from what they serve."""
         estimator = _SwappableEstimator(built)
         with EstimationServer(
             estimator, num_workers=2, refresh_seconds=0.0
@@ -305,6 +353,51 @@ class TestMultiProcess:
                 server.bound(_queries()[0])
         assert estimator.refreshes == 0
         assert server.metrics.swaps == 0
+
+    def test_stop_retires_installed_registry(self, arena_estimator):
+        """Regression: pool-mode start() installed a process-global
+        metrics registry and never uninstalled it — global state leaking
+        past stop() into unrelated code (and tests).  A pre-existing
+        registry must survive, though."""
+        from repro.obs.metrics import (
+            MetricsRegistry,
+            get_metrics,
+            install_metrics,
+            uninstall_metrics,
+        )
+
+        assert get_metrics() is None
+        with EstimationServer(arena_estimator, num_workers=2) as server:
+            assert get_metrics() is not None
+            server.bound(_queries()[0])
+        assert get_metrics() is None
+        # Post-stop snapshots still aggregate the retired registry.
+        obs = server.metrics.snapshot().get("observability") or {}
+        assert obs.get("server.requests", 0) >= 1
+
+        outer = install_metrics(MetricsRegistry(shared=True))
+        try:
+            with EstimationServer(arena_estimator, num_workers=2) as server:
+                server.bound(_queries()[0])
+            assert get_metrics() is outer  # not ours to retire
+        finally:
+            uninstall_metrics()
+
+    def test_pool_mode_observes_batch_seconds(self, arena_estimator):
+        """Regression: ``server.batch_seconds`` was only observed on the
+        in-thread path, so fork-pool serving produced obs snapshots with
+        batch counters but no latency histogram at all."""
+        queries = _queries()
+        with EstimationServer(arena_estimator, num_workers=2, max_batch=4) as server:
+            report = generate_load(server, queries, num_requests=24, concurrency=4)
+            assert report["errors"] == {}
+            snapshot = server.metrics.snapshot()
+        obs = snapshot.get("observability") or {}
+        hist = obs.get("server.batch_seconds")
+        assert isinstance(hist, dict)
+        assert hist["count"] >= 1
+        assert hist["sum"] > 0.0
+        assert hist["count"] <= obs["server.batches"]
 
     def test_worker_death_fails_inflight_and_pool_recovers(self, built):
         """Regression: a killed worker process used to (a) strand its
