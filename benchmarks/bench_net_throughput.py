@@ -165,7 +165,9 @@ def test_net_publish_under_load(served_workload, tmp_path, show):
         )
         loader.join(300.0)
 
-    assert version.version == 2
+    # v2 is the insert's pad snapshot (the pool server turns
+    # publish_pad_snapshots on at start); the republish is v3.
+    assert version.version == 3
     assert report["errors"] == {} and report["completed"] == NUM_REQUESTS
     assert post["errors"] == {} and post["completed"] == 40
     assert server.metrics.failed == 0

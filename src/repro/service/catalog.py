@@ -352,6 +352,18 @@ class CatalogBackedSafeBound(CardinalityEstimator):
         self._safebound: SafeBound | None = None
         self._version: int | None = None
         self.last_refresh_error: Exception | None = None
+        # When set, every ``apply_insert`` publishes the freshly padded
+        # statistics as a new catalog version (:meth:`publish_snapshot`)
+        # before returning — i.e. before the caller makes the inserted
+        # rows visible.  The fork-pool server flips this on at start():
+        # padding applied here lives in *this process's* memory, and
+        # without a publish the pool workers (which re-check only the
+        # catalog's generation stamp) would keep serving their forked,
+        # unpadded statistics over the enlarged database until the next
+        # recompress-and-republish — an underestimation window the ingest
+        # ordering contract forbids.
+        self.publish_pad_snapshots = False
+        self.snapshot_publishes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -427,6 +439,35 @@ class CatalogBackedSafeBound(CardinalityEstimator):
                 self._version = latest.version
             return True
 
+    def publish_snapshot(self, note: str = "pad snapshot") -> StatsVersion:
+        """Publish the *currently served, in-memory* statistics as a new
+        catalog version and adopt its version number in place — no reload.
+
+        Unlike :meth:`UpdateIngest.republish` this does **not** rebuild:
+        the archive is a serialization of the live (padded) statistics,
+        so it is cheap relative to a recompression and, crucially, it
+        carries the padding counters — ``pending_inserts`` survives a
+        save/load cycle — which is what makes a re-opened copy in another
+        process exactly as sound as the parent's in-memory view.  The
+        served object is untouched (its frequency counters and tighter
+        self-recompressed CDSs stay live); only ``version`` advances, so
+        the parent's own refresh poll sees nothing to swap while every
+        generation-handshake reader re-opens the padded version.
+        """
+        with self._swap_lock:
+            sb = self._current()
+            published = self.catalog.publish(
+                self.database,
+                sb.stats,
+                note=note,
+                metadata={**self.build_metadata(), "pad_snapshot": True},
+                stats_format=self.stats_format,
+            )
+            with self._lock:
+                self._version = published.version
+            self.snapshot_publishes += 1
+            return published
+
     def generation(self) -> int:
         """The catalog's published generation for this database (the
         latest version number; one tiny file read)."""
@@ -479,7 +520,14 @@ class CatalogBackedSafeBound(CardinalityEstimator):
         return self._current().estimate_batch(queries)
 
     def apply_insert(self, table: str, rows: dict) -> int:
-        return self._current().apply_insert(table, rows)
+        n = self._current().apply_insert(table, rows)
+        if self.publish_pad_snapshots:
+            # Publish *between* padding and the caller's append: any
+            # cross-process reader that observes the enlarged database
+            # necessarily starts its next batch after this generation
+            # bump, so it re-opens padded statistics first.
+            self.publish_snapshot(note=f"pad snapshot (+{n} rows into {table!r})")
+        return n
 
     def apply_delete(self, table: str, rows: dict) -> int:
         return self._current().apply_delete(table, rows)

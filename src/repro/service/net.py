@@ -49,6 +49,7 @@ from .wire import (
     query_from_wire,
     query_to_wire,
     read_frame,
+    wire_to_float,
     write_frame,
 )
 
@@ -189,7 +190,34 @@ class NetServer:
                     return
                 if request is None:
                     return  # client closed cleanly
-                write_frame(conn, self._handle(request))
+                try:
+                    response = self._handle(request)
+                except Exception as exc:
+                    # _handle answers expected failures as typed error
+                    # responses; anything escaping it is a server bug,
+                    # which the client must still hear about rather than
+                    # see an unexplained connection close.
+                    response = {
+                        "ok": False,
+                        "error": "server_error",
+                        "detail": repr(exc),
+                    }
+                try:
+                    write_frame(conn, response)
+                except FrameError as exc:
+                    # The response exceeded the frame cap.  Its size check
+                    # runs before any byte is sent, so the stream is still
+                    # framed: answer with a small error frame, then drop
+                    # the connection — mirroring the read-side handling.
+                    self.frame_errors += 1
+                    try:
+                        write_frame(
+                            conn,
+                            {"ok": False, "error": "server_error", "detail": str(exc)},
+                        )
+                    except OSError:
+                        pass
+                    return
         except OSError:
             pass  # connection reset / server stopping
         finally:
@@ -366,7 +394,7 @@ class NetClient:
         response = self.request({"op": "bound", "query": wire})
         if not response.get("ok"):
             self._raise_for(response)
-        return response["bound"]
+        return wire_to_float(response["bound"])
 
     def bound_batch(self, queries) -> list[float]:
         """Bounds for several queries; raises on the first failed slot."""
@@ -378,7 +406,7 @@ class NetClient:
         for slot in response["results"]:
             if not slot.get("ok"):
                 self._raise_for(slot)
-            bounds.append(slot["bound"])
+            bounds.append(wire_to_float(slot["bound"]))
         return bounds
 
     def metrics(self) -> dict:
@@ -412,21 +440,39 @@ def _client_process(
 ) -> None:
     """One load-generating client process: ``concurrency`` threads, each
     with its own connection, serving this process's slice of the global
-    request index space."""
+    request index space.
+
+    Two gates keep the parent's timed window honest: every thread
+    connects, then parks on ``connected`` (an in-process barrier) so the
+    main thread only reaches the cross-process ``barrier`` once all
+    connection setup — including slow in-thread connect retries — is
+    done; no thread issues a request until ``start`` is set, which
+    happens only after that global barrier trips.  So the window the
+    parent times contains all requests and none of the connect cost.
+    """
     results: list[tuple[int, float | None, str | None]] = []
     results_lock = threading.Lock()
     rejections = [0] * concurrency
+    connected = threading.Barrier(concurrency + 1)
+    start = threading.Event()
 
     def client_thread(thread_no: int) -> None:
+        client: NetClient | None = None
+        error: Exception | None = None
         try:
             client = NetClient(host, port, timeout=timeout)
         except Exception as exc:
+            error = exc
+        finally:
+            connected.wait()
+        if client is None:
             with results_lock:
                 for i in range(
                     worker + thread_no * stride, num_requests, stride * concurrency
                 ):
-                    results.append((i, None, repr(exc)))
+                    results.append((i, None, repr(error)))
             return
+        start.wait()
         with client:
             for i in range(
                 worker + thread_no * stride, num_requests, stride * concurrency
@@ -455,7 +501,9 @@ def _client_process(
     ]
     for t in threads:
         t.start()
-    barrier.wait()
+    connected.wait()  # every thread holds a connection (or gave up)
+    barrier.wait()  # every process is connected; parent starts the clock
+    start.set()  # ... and only now may requests flow
     for t in threads:
         t.join()
     out_queue.put((worker, results, int(sum(rejections))))
@@ -514,8 +562,10 @@ def generate_load_net(
     ]
     for w in workers:
         w.start()
-    # Children connect first (threads start before the barrier), so the
-    # timed window covers requests, not connection setup.
+    # Each child reaches this barrier only after all of its client
+    # threads hold a connection, and releases them into the request loop
+    # only after it trips — so the timed window starts after every
+    # connection is established and before any request is sent.
     barrier.wait()
     started = time.perf_counter()
     results: list[float | None] = [None] * num_requests

@@ -28,11 +28,16 @@ when the estimator exposes ``refresh_if_stale`` (a
 ``CatalogBackedSafeBound``), every worker re-checks the stamp at the
 start of each batch and re-opens the newly published arena version
 read-only on a mismatch — mmap makes the re-open O(manifest) — so a
-publish propagates to every worker without dropping a request, and live
-ingest (padding in the parent, recompress-and-republish in the
-background) works under ``num_workers > 1``.  An estimator *without* the
-handshake still serves a frozen forked snapshot, and refresh polling
-stays disabled for it.
+publish propagates to every worker without dropping a request.  Live
+ingest composes too: ``start()`` flips the estimator's
+``publish_pad_snapshots`` switch, so every ``apply_insert`` publishes
+its freshly padded statistics as a catalog version *before* the ingest
+makes the inserted rows visible — the generation handshake then carries
+the padding to every worker, closing the window in which a worker could
+serve unpadded statistics over the enlarged database (recompress-and-
+republish still runs in the background to tighten the padding away).
+An estimator *without* the handshake still serves a frozen forked
+snapshot, and refresh polling stays disabled for it.
 """
 
 from __future__ import annotations
@@ -240,6 +245,9 @@ class EstimationServer:
         ] = {}
         self._dispatch_counter = itertools.count()
         self._known_worker_pids: set[int] = set()
+        # Pool mode turns on the estimator's pad-snapshot publishing (see
+        # start()); holds the flag's pre-start value for restore on stop.
+        self._restore_pad_snapshots: bool | None = None
         self._accepting = False
         self._last_refresh = time.monotonic()
         self.last_refresh_error: Exception | None = None
@@ -263,6 +271,18 @@ class EstimationServer:
             self._obs_registry = registry
             self.metrics.obs_source = registry.snapshot
             self.metrics.workers_source = self._worker_liveness
+            # Live ingest composes with the pool only if every insert's
+            # padding reaches the workers *before* the inserted rows
+            # become visible.  apply_insert pads this process's memory;
+            # the workers re-check only the catalog's generation stamp —
+            # so make the estimator publish each insert's padded
+            # statistics as a catalog version (a serialization, not a
+            # rebuild), which the per-batch handshake then picks up.
+            # Without this, worker-served bounds between an insert and
+            # the next staleness-triggered republish could underestimate.
+            if hasattr(self.estimator, "publish_pad_snapshots"):
+                self._restore_pad_snapshots = self.estimator.publish_pad_snapshots
+                self.estimator.publish_pad_snapshots = True
             self._fork_key, self._pool = _fork_pool(self.estimator, self.num_workers)
             self._inflight = threading.BoundedSemaphore(self.num_workers * 2)
             self._known_worker_pids = {p.pid for p in self._pool._pool}
@@ -306,6 +326,9 @@ class EstimationServer:
             if self._fork_key is not None:
                 _release_fork_pool(self._fork_key)
                 self._fork_key = None
+        if self._restore_pad_snapshots is not None:
+            self.estimator.publish_pad_snapshots = self._restore_pad_snapshots
+            self._restore_pad_snapshots = None
         # Retire the registry this server installed (a pre-existing, e.g.
         # harness-level, one is left alone).  Post-stop snapshots keep
         # working: metrics.obs_source holds the registry object itself,

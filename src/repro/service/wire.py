@@ -9,6 +9,14 @@ computation; the length prefix gives exact message boundaries without a
 streaming parser, and a hard frame-size cap bounds what a malformed or
 hostile peer can make the server allocate.
 
+Frames are *strict* JSON: non-finite floats (an infinite bound, the NaN
+percentiles of an empty latency reservoir) are encoded as the string
+sentinels ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"`` instead of
+Python's non-standard bare tokens, which non-Python JSON parsers reject.
+``float(value)`` (see :func:`wire_to_float`) decodes a number field on
+the receiving side.  A payload value with no wire form raises
+:class:`FrameError` at send time — never a silent lossy ``repr``.
+
 The query codec maps :class:`~repro.db.query.Query` and the predicate
 AST (``core/predicates.py``) onto plain JSON values.  Round-tripping is
 exact for every predicate class the executor supports — numpy scalar
@@ -20,6 +28,7 @@ bounds.
 from __future__ import annotations
 
 import json
+import math
 import socket
 import struct
 
@@ -35,6 +44,7 @@ __all__ = [
     "query_from_wire",
     "predicate_to_wire",
     "predicate_from_wire",
+    "wire_to_float",
     "write_frame",
     "read_frame",
 ]
@@ -148,16 +158,63 @@ def query_from_wire(payload: dict) -> Query:
 # Framing
 # ----------------------------------------------------------------------
 def write_frame(sock: socket.socket, payload: dict) -> None:
-    body = json.dumps(payload, separators=(",", ":"), default=_json_default).encode()
+    try:
+        body = _dump(payload)
+    except FrameError:
+        raise  # unknown type — sanitizing floats would not help
+    except ValueError:
+        # A non-finite float somewhere in the payload: strict JSON has no
+        # Infinity/NaN tokens, so re-encode them as string sentinels.
+        # The fallback walk runs only on such payloads; everything else
+        # takes the single-pass fast path above.
+        body = _dump(_sanitize_nonfinite(payload))
     if len(body) > MAX_FRAME_BYTES:
         raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
     sock.sendall(_LENGTH.pack(len(body)) + body)
 
 
+def _dump(payload: dict) -> bytes:
+    try:
+        return json.dumps(
+            payload, separators=(",", ":"), allow_nan=False, default=_json_default
+        ).encode()
+    except TypeError as exc:
+        raise FrameError(f"payload is not wire-serialisable: {exc}") from None
+
+
 def _json_default(value):
+    """Known-safe conversions only — an unknown object in a payload is a
+    programming error that must surface as :class:`FrameError`, not
+    degrade into a lossy ``repr`` string the peer cannot interpret."""
     if isinstance(value, np.generic):
         return value.item()
-    return repr(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"{type(value).__name__} has no wire form")
+
+
+def _sanitize_nonfinite(value):
+    """``value`` with every non-finite float replaced by its sentinel."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    if isinstance(value, dict):
+        return {k: _sanitize_nonfinite(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize_nonfinite(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_sanitize_nonfinite(v) for v in value.tolist()]
+    return value
+
+
+def wire_to_float(value) -> float:
+    """Decode a number field of a frame: non-finite floats travel as the
+    string sentinels ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"``, which
+    ``float`` maps straight back."""
+    return float(value)
 
 
 def _read_exact(sock: socket.socket, n: int) -> bytes | None:

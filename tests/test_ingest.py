@@ -288,6 +288,63 @@ class TestRepublish:
         assert estimator.version == worker.published[-1].version
         assert_bounds_dominate(estimator, db, make_queries())
 
+    def test_insert_publishes_pad_snapshot_when_enabled(self, tmp_path):
+        """``publish_pad_snapshots``: every insert publishes the freshly
+        padded statistics as a catalog version *before* the rows become
+        visible, so a cross-process reader can never pair pre-insert
+        statistics with the enlarged database (this is what the fork-pool
+        server turns on at start)."""
+        db = make_db()
+        catalog, estimator = self._catalog_pair(tmp_path, db)
+        estimator.publish_pad_snapshots = True
+        # A threshold no single insert reaches: the republish path must
+        # not be what repairs the cold reader's bounds below.
+        ingest = UpdateIngest(db, estimator, republish_overhead=1e9)
+        rng = np.random.default_rng(21)
+        n = 2500  # doubles the fact table
+        ingest.insert("fact", {
+            "id": np.arange(600000, 600000 + n),
+            "dim_id": rng.integers(0, 150, n),
+            "score": rng.integers(0, 30, n),
+        })
+        assert ingest.republishes == 0
+        assert estimator.snapshot_publishes == 1
+        assert estimator.version == 2  # adopted in place, no reload
+        assert catalog.generation("live") == 2
+        # Version 1 genuinely underestimates the enlarged database — the
+        # window the snapshot closes is real, not hypothetical.
+        full_join = make_queries()[0]
+        stale = SafeBound()
+        stale.stats = catalog.load("live", version=1)
+        assert stale.bound(full_join) < Executor(db).cardinality(full_join)
+        # A cold reader of the snapshot (what a fork worker re-opens on
+        # the generation bump) dominates the enlarged database: the
+        # padding counters survive the save/load round trip.
+        reader = CatalogBackedSafeBound(catalog, "live")
+        reader.refresh()
+        assert reader.version == 2
+        assert_bounds_dominate(reader, db, make_queries())
+        # The snapshot publishes the padding, it does not tighten it —
+        # staleness still reflects the insert, so the recompress-and-
+        # republish cycle fires later exactly as before.
+        assert estimator.staleness() > 0.0
+
+    def test_deletes_publish_no_snapshot(self, tmp_path):
+        """Deletes shrink counters only after the rows are gone, so a
+        cross-process reader on the old version merely over-counts —
+        no snapshot version is needed (or published)."""
+        db = make_db()
+        catalog, estimator = self._catalog_pair(tmp_path, db)
+        estimator.publish_pad_snapshots = True
+        ingest = UpdateIngest(db, estimator, republish_overhead=1e9)
+        rng = np.random.default_rng(7)
+        ingest.delete(
+            "fact", rng.choice(db.table("fact").num_rows, 200, replace=False)
+        )
+        assert estimator.snapshot_publishes == 0
+        assert catalog.generation("live") == 1
+        assert_bounds_dominate(estimator, db, make_queries())
+
     def test_worker_stop_before_start_is_safe(self):
         """Regression: ``stop()`` on a never-started worker used to raise
         ``RuntimeError: cannot join thread before it is started``, which

@@ -11,6 +11,7 @@ worker with zero failed or dropped requests.
 from __future__ import annotations
 
 import json
+import math
 import socket
 import struct
 import threading
@@ -22,6 +23,7 @@ import pytest
 from repro.core.predicates import And, Eq, InList, Like, Or, Range
 from repro.core.safebound import SafeBound, SafeBoundConfig
 from repro.db.database import Database
+from repro.db.executor import Executor
 from repro.db.query import Query
 from repro.db.schema import Schema
 from repro.db.table import Table
@@ -34,6 +36,7 @@ from repro.service.wire import (
     query_from_wire,
     query_to_wire,
     read_frame,
+    wire_to_float,
     write_frame,
 )
 
@@ -155,6 +158,50 @@ class TestWireCodec:
     def test_invalid_join_shape_rejected(self):
         with pytest.raises(ValueError, match="join"):
             query_from_wire({"relations": {"f": "fact"}, "joins": [["f", "x"]]})
+
+    def test_nonfinite_floats_cross_as_sentinels(self):
+        """Frames are strict JSON: an infinite bound or the NaN summaries
+        of an idle latency reservoir must travel as string sentinels, not
+        as Python's bare ``Infinity``/``NaN`` tokens (which non-Python
+        JSON parsers reject)."""
+        payload = {
+            "inf": float("inf"),
+            "ninf": float("-inf"),
+            "nan": float("nan"),
+            "np_inf": np.float32("inf"),
+            "nested": [{"p99": float("nan")}],
+            "finite": 1.5,
+        }
+        a, b = socket.socketpair()
+        with a, b:
+            write_frame(a, payload)
+            (length,) = struct.unpack(">I", b.recv(4))
+            body = b.recv(length)
+
+        def bare_token(token):  # json.loads only calls this for them
+            raise AssertionError(f"non-standard {token} token on the wire")
+
+        frame = json.loads(body, parse_constant=bare_token)
+        assert frame["inf"] == "Infinity"
+        assert frame["ninf"] == "-Infinity"
+        assert frame["nan"] == "NaN"
+        assert frame["np_inf"] == "Infinity"
+        assert frame["nested"] == [{"p99": "NaN"}]
+        assert frame["finite"] == 1.5
+        assert wire_to_float(frame["inf"]) == float("inf")
+        assert wire_to_float(frame["ninf"]) == float("-inf")
+        assert math.isnan(wire_to_float(frame["nan"]))
+
+    def test_unknown_payload_type_raises_frame_error(self):
+        """An object with no wire form must fail loudly at send time —
+        never degrade into a lossy ``repr`` string the peer cannot
+        interpret — and must leave the stream unpolluted."""
+        a, b = socket.socketpair()
+        with a, b:
+            with pytest.raises(FrameError, match="wire-serialisable"):
+                write_frame(a, {"oops": object()})
+            write_frame(a, {"op": "health"})  # nothing was half-sent
+            assert read_frame(b) == {"op": "health"}
 
 
 class _SlowEstimator:
@@ -301,6 +348,75 @@ class TestNetServer:
             client.close()
 
 
+class TestResponsePath:
+    """Failures on the *response* side of a connection must be answered
+    with a typed error frame, never a silent connection close."""
+
+    def test_handler_exception_answered_as_server_error(self, built, monkeypatch):
+        with EstimationServer(built) as server, NetServer(server) as net:
+            def boom():
+                raise RuntimeError("snapshot exploded")
+
+            monkeypatch.setattr(server.metrics, "snapshot", boom)
+            with NetClient(*net.address) as client:
+                with pytest.raises(NetRequestError) as info:
+                    client.metrics()
+                assert info.value.error == "server_error"
+                assert "snapshot exploded" in info.value.detail
+                # Same connection still serves.
+                assert client.bound(_queries()[0]) == built.bound(_queries()[0])
+
+    def test_oversized_response_answered_then_closed(self, built, monkeypatch):
+        """A response over the frame cap used to escape ``write_frame``
+        as an uncaught FrameError and kill the connection thread with no
+        frame at all.  The size check runs before any byte is sent, so
+        the server can still answer with a small error frame — then it
+        drops the connection, mirroring the read-side handling."""
+        import repro.service.wire as wire_module
+
+        with EstimationServer(built) as server, NetServer(server) as net:
+            before = net.frame_errors
+            with NetClient(*net.address) as client:
+                # A metrics response blows a 256-byte cap; the request
+                # frames (and the error frame) stay well under it.
+                monkeypatch.setattr(wire_module, "MAX_FRAME_BYTES", 256)
+                with pytest.raises(NetRequestError) as info:
+                    client.metrics()
+                assert info.value.error == "server_error"
+                assert "exceeds" in info.value.detail
+                with pytest.raises((ConnectionError, FrameError, OSError)):
+                    client.health()  # connection was closed
+            assert net.frame_errors == before + 1
+            monkeypatch.undo()
+            # The listener and fresh connections are unaffected.
+            with NetClient(*net.address) as client:
+                assert "request_latency" in client.metrics()
+
+
+class _InfiniteEstimator:
+    def estimate_batch(self, queries):
+        return [float("inf")] * len(queries)
+
+
+class TestNonFiniteOverTheWire:
+    def test_infinite_bound_served_over_socket(self):
+        with EstimationServer(_InfiniteEstimator()) as server:
+            with NetServer(server) as net:
+                with NetClient(*net.address) as client:
+                    assert client.bound(_queries()[0]) == float("inf")
+                    assert client.bound_batch(_queries()[:2]) == [float("inf")] * 2
+
+    def test_idle_metrics_cross_the_wire(self, built):
+        """An idle server's latency summaries are all-NaN; the metrics
+        verb must still produce a strict-JSON frame the client can read."""
+        with EstimationServer(built) as server:
+            with NetServer(server) as net:
+                with NetClient(*net.address) as client:
+                    metrics = client.metrics()
+        assert metrics["request_latency"]["count"] == 0
+        assert metrics["request_latency"]["p99"] == "NaN"
+
+
 def _make_mutable_db(seed: int = 11, n_dim: int = 120, n_fact: int = 1500) -> Database:
     rng = np.random.default_rng(seed)
     schema = Schema()
@@ -371,8 +487,10 @@ class TestCrossProcessHotSwap:
                 "score": rng.integers(0, 30, n),
             })
             version = ingest.republish()
-            assert version.version == 2
-            assert catalog.generation("live") == 2
+            # v2 is the insert's pad snapshot (the pool server flips
+            # publish_pad_snapshots at start); the republish is v3.
+            assert version.version == 3
+            assert catalog.generation("live") == 3
 
             # Any request submitted after republish() returned must be
             # served on the new version: the generation stamp is written
@@ -387,7 +505,7 @@ class TestCrossProcessHotSwap:
 
             v2_direct = CatalogBackedSafeBound(catalog, "live")
             v2_direct.refresh()
-            assert v2_direct.version == 2
+            assert v2_direct.version == 3
             expected = [v2_direct.bound(q) for q in queries]
             assert expected != v1  # the republish actually changed bounds
 
@@ -407,6 +525,50 @@ class TestCrossProcessHotSwap:
             obs = snapshot.get("observability") or {}
             assert obs.get("server.worker_swaps", 0) >= 1
             assert snapshot["workers"]["num_workers"] == 2
+
+    def test_pool_insert_is_padded_before_republish(self, tmp_path):
+        """Regression: ``apply_insert`` pads only the parent's in-memory
+        statistics; fork workers used to keep their forked, unpadded copy
+        until the next staleness-triggered republish — a window in which
+        worker-served bounds could underestimate the enlarged database.
+        The pool server now flips ``publish_pad_snapshots`` at start, so
+        the insert publishes its padding as a catalog version before the
+        rows become visible and the generation handshake carries it to
+        every worker — no republish required."""
+        db = _make_mutable_db()
+        catalog = StatsCatalog(tmp_path)
+        estimator = CatalogBackedSafeBound(
+            catalog, "live", SafeBoundConfig(track_updates=True)
+        )
+        estimator.build(db)
+        full_join = _star_queries()[0]
+        with EstimationServer(estimator, num_workers=2, max_batch=4) as server:
+            assert estimator.publish_pad_snapshots
+            # A threshold no insert reaches: the republish path must not
+            # be what repairs the workers' bounds.
+            ingest = UpdateIngest(db, estimator, republish_overhead=1e9)
+            rng = np.random.default_rng(23)
+            n = 3000  # triples the fact table
+            ingest.insert("fact", {
+                "id": np.arange(600000, 600000 + n),
+                "dim_id": rng.integers(0, 120, n),
+                "score": rng.integers(0, 30, n),
+            })
+            assert ingest.republishes == 0
+            assert estimator.snapshot_publishes == 1
+            assert catalog.generation("live") == 2  # the pad snapshot
+            true = Executor(db).cardinality(full_join)
+            # The pre-insert version genuinely underestimates the
+            # enlarged database — the closed window is real.
+            stale = SafeBound()
+            stale.stats = catalog.load("live", version=1)
+            assert stale.bound(full_join) < true
+            # Every post-insert request is dispatched to a pool worker,
+            # which re-opens on the generation bump and must dominate.
+            for _ in range(6):
+                assert server.bound(full_join) >= true * (1 - 1e-9)
+        # stop() restores the switch for whoever serves next.
+        assert estimator.publish_pad_snapshots is False
 
     def test_health_reports_version_and_generation(self, tmp_path):
         db = _make_mutable_db()
