@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.safebound import SafeBound, SafeBoundConfig
 from repro.obs.metrics import MetricsRegistry, inc, metrics_installed
 from repro.obs.tracing import Tracer, span, tracing_installed
+from repro.service import faults
 from repro.workloads import make_stats_ceb
 
 OBS_SNAPSHOT_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_obs.json"
@@ -72,6 +73,20 @@ def _disabled_call_seconds() -> tuple[float, float]:
     return span_total / MICRO_CALLS, inc_total / MICRO_CALLS
 
 
+def _disabled_fault_site_seconds() -> float:
+    """Median per-call cost of a :func:`faults.fire` site with no plan
+    installed — the serving paths keep their sites compiled in, so this
+    must hold the same one-load + ``None``-check budget as ``inc()``."""
+    assert faults.get_faults() is None
+
+    def run_fires():
+        for _ in range(MICRO_CALLS):
+            faults.fire("bench.site")
+
+    fire_total, _ = _median_seconds(run_fires)
+    return fire_total / MICRO_CALLS
+
+
 def test_disabled_overhead_under_floor(show):
     wl = make_stats_ceb(scale=SCALE, num_queries=NUM_QUERIES, seed=5)
     sb = SafeBound(SafeBoundConfig(eval_kernel="array"))
@@ -100,6 +115,13 @@ def test_disabled_overhead_under_floor(show):
     # Price the disabled path: per-call cost x the instrumentation calls
     # one batch executes (span sites + metric updates, counted live).
     span_cost, inc_cost = _disabled_call_seconds()
+    fault_cost = _disabled_fault_site_seconds()
+    # A fault site is the same shape as a disabled metric update; hold it
+    # to the same order of magnitude (loaded-CI slack included).
+    assert fault_cost < max(20 * inc_cost, 2e-6), (
+        f"disabled fault site costs {fault_cost * 1e9:.0f} ns/call vs "
+        f"inc {inc_cost * 1e9:.0f} ns"
+    )
     calls = len(tracer.spans) * span_cost + registry.update_ops * inc_cost
     disabled_fraction = calls / disabled_seconds
     enabled_ratio = enabled_seconds / disabled_seconds - 1.0
@@ -113,7 +135,8 @@ def test_disabled_overhead_under_floor(show):
         f"  instrumentation per batch: {len(tracer.spans)} spans, "
         f"{registry.update_ops} metric updates",
         f"  disabled per-call: span {span_cost * 1e9:.0f} ns, "
-        f"inc {inc_cost * 1e9:.0f} ns "
+        f"inc {inc_cost * 1e9:.0f} ns, "
+        f"fault site {fault_cost * 1e9:.0f} ns "
         f"-> {disabled_fraction * 100:.3f}% of batch time "
         f"(floor {OVERHEAD_FLOOR * 100:.0f}%)",
     ]
@@ -139,6 +162,7 @@ def test_disabled_overhead_under_floor(show):
             "metric_updates_per_batch": registry.update_ops,
             "disabled_span_ns": round(span_cost * 1e9, 1),
             "disabled_inc_ns": round(inc_cost * 1e9, 1),
+            "disabled_fault_site_ns": round(fault_cost * 1e9, 1),
             "disabled_fraction": round(disabled_fraction, 6),
         }
         OBS_SNAPSHOT_PATH.write_text(

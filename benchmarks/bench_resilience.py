@@ -1,0 +1,311 @@
+"""Resilience benchmark: what the self-healing stack costs and delivers.
+
+Four numbers, each with a floor asserted on every run:
+
+* **disabled fault sites** — per-call cost of :func:`faults.fire` /
+  :func:`faults.corrupt` with no plan installed.  The serving hot paths
+  keep their sites compiled in, so this must stay at the one-global-load
+  + ``None``-check price (same budget as the obs layer).
+* **worker-kill recovery** — SIGKILL a fork-pool worker under a live
+  server and clock how long until the supervisor has reaped the death,
+  the pool has respawned, and a bound round-trips again.
+* **degraded vs healthy throughput** — pool-mode throughput against
+  throughput after a respawn storm trips the circuit breaker (the server
+  degrades to single-process serving; bounds stay correct, this measures
+  what the degradation costs).
+* **retry-under-overload goodput** — a two-slot admission queue hammered
+  by eight client threads; every request must complete inside its retry
+  budget (overload surfaces as retries and latency, never as lost
+  requests).
+
+``BENCH_resilience.json`` tracks the trajectory across PRs; the snapshot
+is only refreshed at the default configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import threading
+import time
+
+import numpy as np
+
+from repro.core.predicates import Eq, Range
+from repro.core.safebound import SafeBoundConfig
+from repro.db.database import Database
+from repro.db.query import Query
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.service import faults
+from repro.service.catalog import CatalogBackedSafeBound, StatsCatalog
+from repro.service.faults import FaultPlan, FaultSpec, install_faults, uninstall_faults
+from repro.service.net import NetClient, NetServer, RetryPolicy
+from repro.service.server import EstimationServer
+
+RESILIENCE_SNAPSHOT_PATH = (
+    pathlib.Path(__file__).resolve().parent / "BENCH_resilience.json"
+)
+
+NUM_REQUESTS = int(os.environ.get("REPRO_BENCH_RES_REQUESTS", "300"))
+DEFAULT_CONFIG = NUM_REQUESTS == 300
+MICRO_CALLS = 200_000
+REPETITIONS = 5
+
+# Floors: generous enough for a loaded CI box, tight enough to catch a
+# fault-site regression (e.g. someone adding work to the disabled path)
+# or a supervisor that stopped respawning.
+DISABLED_SITE_NS_FLOOR = 2_000.0  # per call
+RECOVERY_SECONDS_FLOOR = 15.0
+DEGRADED_RATIO_FLOOR = 0.02  # degraded serving must retain >= 2% throughput
+
+
+def _median_seconds(fn) -> float:
+    fn()  # warm-up
+    times = []
+    for _ in range(REPETITIONS):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return float(np.median(times))
+
+
+def _make_db(seed: int = 11, n_dim: int = 120, n_fact: int = 1500) -> Database:
+    rng = np.random.default_rng(seed)
+    schema = Schema()
+    schema.add_table("dim", primary_key="id", filter_columns=["year"])
+    schema.add_table("fact", join_columns=["dim_id"], filter_columns=["score"])
+    schema.add_foreign_key("fact", "dim_id", "dim", "id")
+    db = Database(schema)
+    db.add_table(Table("dim", {
+        "id": np.arange(n_dim),
+        "year": rng.integers(1950, 2020, n_dim),
+    }))
+    db.add_table(Table("fact", {
+        "id": np.arange(n_fact),
+        "dim_id": (rng.zipf(1.5, n_fact) - 1) % n_dim,
+        "score": rng.integers(0, 30, n_fact),
+    }))
+    return db
+
+
+def _queries() -> list[Query]:
+    def star() -> Query:
+        return (
+            Query()
+            .add_relation("f", "fact")
+            .add_relation("d", "dim")
+            .add_join("f", "dim_id", "d", "id")
+        )
+
+    return [
+        star(),
+        star().add_predicate("d", Range("year", low=1980, high=1999)),
+        star().add_predicate("f", Eq("score", 3)),
+    ]
+
+
+def _disabled_site_ns() -> tuple[float, float]:
+    assert faults.get_faults() is None
+
+    def run_fire():
+        for _ in range(MICRO_CALLS):
+            faults.fire("bench.site")
+
+    identity = lambda v: v  # noqa: E731
+
+    def run_corrupt():
+        for _ in range(MICRO_CALLS):
+            faults.corrupt("bench.site", 1.0, identity)
+
+    fire_ns = _median_seconds(run_fire) / MICRO_CALLS * 1e9
+    corrupt_ns = _median_seconds(run_corrupt) / MICRO_CALLS * 1e9
+    return fire_ns, corrupt_ns
+
+
+def _throughput_qps(server: EstimationServer, queries, total: int) -> float:
+    """Wall-clock qps of ``total`` bounds from 4 submitter threads."""
+    n_threads = 4
+    per_thread = total // n_threads
+    errors: list[Exception] = []
+
+    def run(tid: int) -> None:
+        for i in range(per_thread):
+            try:
+                server.bound(queries[(tid + i) % len(queries)], timeout=30.0)
+            except Exception as exc:  # pragma: no cover - fails the floor
+                errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(t,)) for t in range(n_threads)]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors[:3]
+    return (per_thread * n_threads) / elapsed
+
+
+def test_resilience(tmp_path_factory, show):
+    root = tmp_path_factory.mktemp("bench-resilience")
+    db = _make_db()
+    catalog = StatsCatalog(root)
+    estimator = CatalogBackedSafeBound(
+        catalog, "live", SafeBoundConfig(track_updates=True)
+    )
+    estimator.build(db)
+    queries = _queries()
+
+    # ------------------------------------------------------------------
+    # Disabled fault sites: the zero-overhead claim, priced.
+    # ------------------------------------------------------------------
+    fire_ns, corrupt_ns = _disabled_site_ns()
+    assert fire_ns < DISABLED_SITE_NS_FLOOR, (
+        f"disabled faults.fire costs {fire_ns:.0f} ns/call"
+    )
+    assert corrupt_ns < DISABLED_SITE_NS_FLOOR, (
+        f"disabled faults.corrupt costs {corrupt_ns:.0f} ns/call"
+    )
+
+    # ------------------------------------------------------------------
+    # Worker-kill recovery: SIGKILL one pool worker, clock reap+respawn.
+    # ------------------------------------------------------------------
+    server = EstimationServer(estimator, num_workers=2, max_batch=8)
+    with server:
+        for q in queries:  # warm the pool
+            server.bound(q)
+        victim = sorted(server._known_worker_pids)[0]
+        os.kill(victim, signal.SIGKILL)
+        killed_at = time.perf_counter()
+        deadline = killed_at + RECOVERY_SECONDS_FLOOR
+        while True:
+            respawned = server.metrics.snapshot()["worker_respawns"] >= 1
+            if respawned:
+                server.bound(queries[0], timeout=10.0)
+                recovery_seconds = time.perf_counter() - killed_at
+                break
+            assert time.perf_counter() < deadline, "worker never respawned"
+            try:
+                server.bound(queries[0], timeout=2.0)
+            except (RuntimeError, TimeoutError):
+                pass  # the in-flight batch died with the worker
+        assert not server.breaker_tripped  # one death is not a storm
+
+        # Healthy pool throughput, measured post-recovery.
+        healthy_qps = _throughput_qps(server, queries, NUM_REQUESTS)
+
+    # ------------------------------------------------------------------
+    # Degraded throughput: a fresh pool whose workers inherit (by fork)
+    # a kill-on-first-batch plan — a respawn storm that trips the
+    # breaker, after which the server serves single-process.
+    # ------------------------------------------------------------------
+    install_faults(FaultPlan([
+        FaultSpec("server.worker.kill", action="kill", times=0)
+    ]))
+    degraded = EstimationServer(
+        estimator, num_workers=2, max_batch=8,
+        max_respawns=2, respawn_window_seconds=120.0,
+    )
+    try:
+        with degraded:
+            trip_deadline = time.monotonic() + 60.0
+            while not degraded.breaker_tripped:
+                assert time.monotonic() < trip_deadline, "breaker never tripped"
+                try:
+                    degraded.bound(queries[0], timeout=5.0)
+                except (RuntimeError, TimeoutError):
+                    pass
+            uninstall_faults()
+            assert degraded.health_status()["status"] == "degraded"
+            degraded_qps = _throughput_qps(degraded, queries, NUM_REQUESTS)
+    finally:
+        uninstall_faults()
+    degraded_ratio = degraded_qps / healthy_qps
+    assert degraded_ratio > DEGRADED_RATIO_FLOOR, (
+        f"degraded serving retains only {degraded_ratio * 100:.1f}% "
+        f"of healthy throughput"
+    )
+
+    # ------------------------------------------------------------------
+    # Retry under overload: queue of 8, six threads, zero lost requests.
+    # ------------------------------------------------------------------
+    overload = EstimationServer(
+        estimator, max_queue=2, max_batch=2, max_wait_ms=0.5
+    )
+    n_threads, per_thread = 8, max(10, NUM_REQUESTS // 10)
+    completed = [0] * n_threads
+    retries = [0] * n_threads
+    errors: list[Exception] = []
+    with overload, NetServer(overload) as net:
+        def run_client(tid: int) -> None:
+            policy = RetryPolicy(deadline_seconds=60.0, max_attempts=50, seed=tid)
+            try:
+                with NetClient(*net.address, timeout=10.0, retry=policy) as client:
+                    for i in range(per_thread):
+                        client.bound(queries[(tid + i) % len(queries)])
+                        completed[tid] += 1
+                    retries[tid] = client.retries
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run_client, args=(t,))
+            for t in range(n_threads)
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120.0)
+        overload_elapsed = time.perf_counter() - started
+    assert not errors, errors[:3]
+    total = n_threads * per_thread
+    assert sum(completed) == total, (completed, total)
+    goodput_qps = total / overload_elapsed
+
+    lines = [
+        f"resilience, {NUM_REQUESTS} requests ({os.cpu_count()} cpu)",
+        f"  disabled fault site: fire {fire_ns:.0f} ns, "
+        f"corrupt {corrupt_ns:.0f} ns "
+        f"(floor {DISABLED_SITE_NS_FLOOR:.0f} ns)",
+        f"  worker-kill recovery: {recovery_seconds * 1e3:.0f} ms "
+        f"(floor {RECOVERY_SECONDS_FLOOR:.0f} s)",
+        f"  throughput: healthy {healthy_qps:.0f} q/s, "
+        f"post-breaker {degraded_qps:.0f} q/s "
+        f"(ratio {degraded_ratio:.2f}, floor {DEGRADED_RATIO_FLOOR})",
+        f"  overload goodput: {goodput_qps:.0f} q/s, "
+        f"{total}/{total} completed, {sum(retries)} retries",
+    ]
+    show("\n".join(lines))
+
+    if DEFAULT_CONFIG:
+        payload = {
+            "bench": "resilience",
+            "num_requests": NUM_REQUESTS,
+            "cpus": os.cpu_count(),
+            "disabled_fire_ns": round(fire_ns, 1),
+            "disabled_corrupt_ns": round(corrupt_ns, 1),
+            "recovery_seconds": round(recovery_seconds, 3),
+            "healthy_qps": round(healthy_qps, 1),
+            "degraded_qps": round(degraded_qps, 1),
+            "degraded_ratio": round(degraded_ratio, 3),
+            "overload_goodput_qps": round(goodput_qps, 1),
+            "overload_retries": sum(retries),
+            "floors": {
+                "disabled_site_ns": DISABLED_SITE_NS_FLOOR,
+                "recovery_seconds": RECOVERY_SECONDS_FLOOR,
+                "degraded_ratio": DEGRADED_RATIO_FLOOR,
+            },
+        }
+        RESILIENCE_SNAPSHOT_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        print(
+            f"\n[resilience_snapshot] non-default config "
+            f"requests={NUM_REQUESTS}; not refreshing "
+            f"{RESILIENCE_SNAPSHOT_PATH.name}"
+        )

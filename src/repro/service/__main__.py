@@ -149,6 +149,84 @@ def stats_info(argv: list[str]) -> int:
     return 0
 
 
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def _read_ready_file(path: str) -> dict | None:
+    """The ready file's payload iff it names a live server process.
+
+    A crash or SIGKILL never unlinks the file, so the address in it may
+    be stale; liveness comes from the recorded PID.  Returns None for a
+    payload whose pid is dead — callers must not trust its address."""
+    with open(path) as fh:
+        ready = json.load(fh)
+    pid = ready.get("pid")
+    if isinstance(pid, int) and not _pid_alive(pid):
+        return None
+    return ready
+
+
+def _check_ready_file(path: str, remove_stale: bool = False) -> dict:
+    """Validate a serve ``--ready-file``; optionally remove a stale one."""
+    try:
+        with open(path) as fh:
+            ready = json.load(fh)
+    except FileNotFoundError:
+        return {"path": path, "status": "absent"}
+    except (OSError, ValueError):
+        ready = {}
+    pid = ready.get("pid")
+    if isinstance(pid, int) and _pid_alive(pid):
+        return {"path": path, "status": "live", "pid": pid}
+    removed = False
+    if remove_stale:
+        try:
+            os.unlink(path)
+            removed = True
+        except OSError:
+            pass
+    return {"path": path, "status": "stale", "pid": pid, "removed": removed}
+
+
+def fsck(argv: list[str]) -> int:
+    """``fsck``: detect and repair crash debris in a stats catalog."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service fsck",
+        description="Detect and repair catalog crash debris: stale publish "
+        "temp files, unreadable (torn) archives, torn manifests, wrong "
+        "generation stamps; prints a JSON repair report",
+    )
+    parser.add_argument("--catalog", required=True, help="catalog root directory")
+    parser.add_argument("--database", default=None, help="limit to one database")
+    parser.add_argument(
+        "--stale-tmp-seconds", type=float, default=0.0,
+        help="only remove publish temp files older than this many seconds "
+        "(default 0: the operator asserts no publish is live)",
+    )
+    parser.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="also validate a serve --ready-file (PID liveness) and remove "
+        "it when stale",
+    )
+    args = parser.parse_args(argv)
+    catalog = StatsCatalog(args.catalog, fsck_on_open=False)
+    report = catalog.fsck(args.database, stale_tmp_seconds=args.stale_tmp_seconds)
+    out = report.to_dict()
+    if args.ready_file:
+        out["ready_file"] = _check_ready_file(args.ready_file, remove_stale=True)
+    print(json.dumps(out, indent=2))
+    return 0
+
+
 def _build_demo_estimator(
     catalog: StatsCatalog,
     db,
@@ -283,7 +361,15 @@ def serve(argv: list[str]) -> int:
         )
         rng = np.random.default_rng(1)
         with server, NetServer(server, args.host, args.port) as net:
-            ready = {"host": net.host, "port": net.port, "pid": os.getpid()}
+            # pid + started_at let clients and fsck detect a stale ready
+            # file left behind by a crash or SIGKILL (neither runs the
+            # unlink below): a dead pid means the address is not trusted.
+            ready = {
+                "host": net.host,
+                "port": net.port,
+                "pid": os.getpid(),
+                "started_at": time.time(),
+            }
             if args.ready_file:
                 ready_tmp = f"{args.ready_file}.incoming"
                 with open(ready_tmp, "w") as fh:
@@ -309,6 +395,11 @@ def serve(argv: list[str]) -> int:
             finally:
                 if worker is not None:
                     worker.stop()
+                if args.ready_file:
+                    try:
+                        os.unlink(args.ready_file)
+                    except OSError:
+                        pass
         summary = {
             "served_version": estimator.version,
             "generation": estimator.generation(),
@@ -341,6 +432,12 @@ def client(argv: list[str]) -> int:
     parser.add_argument("--concurrency", type=int, default=4, help="threads per process")
     parser.add_argument("--timeout", type=float, default=60.0)
     parser.add_argument(
+        "--retry-deadline", type=float, default=None, metavar="SECONDS",
+        help="give every request a retry budget: reconnect on resets and "
+        "back off (honoring the server's retry_after_ms) for up to this "
+        "many seconds before failing with a typed deadline error",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="exit 1 unless every request completed with zero errors and "
         "the server reports zero failed batches",
@@ -354,25 +451,42 @@ def client(argv: list[str]) -> int:
     host, port = args.host, args.port
     if args.ready_file:
         deadline = time.monotonic() + args.timeout
+        stale_seen = False
         while True:
             try:
-                with open(args.ready_file) as fh:
-                    ready = json.load(fh)
+                ready = _read_ready_file(args.ready_file)
+                if ready is None:
+                    # The file names a dead PID: a crashed server left it
+                    # behind.  Keep polling — a restart rewrites it — but
+                    # never trust the stale address.
+                    stale_seen = True
+                    raise ValueError("stale ready file (dead pid)")
                 host, port = ready["host"], ready["port"]
                 break
             except (OSError, ValueError, KeyError):
                 if time.monotonic() > deadline:
-                    print(f"ready file {args.ready_file} never appeared", file=sys.stderr)
+                    what = (
+                        "names a dead server (stale after a crash?)"
+                        if stale_seen
+                        else "never appeared"
+                    )
+                    print(f"ready file {args.ready_file} {what}", file=sys.stderr)
                     return 1
                 time.sleep(0.1)
     if port is None:
         parser.error("--port or --ready-file is required")
 
+    retry = None
+    if args.retry_deadline is not None:
+        from .net import RetryPolicy
+
+        retry = RetryPolicy(deadline_seconds=args.retry_deadline, seed=0)
     report = generate_load_net(
         host, port, demo_queries(), args.requests,
         processes=args.processes,
         concurrency=args.concurrency,
         timeout=args.timeout,
+        retry=retry,
     )
     report.pop("results")
     with NetClient(host, port, timeout=args.timeout) as probe:
@@ -420,6 +534,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "stats-info":
         return stats_info(argv[1:])
+    if argv and argv[0] == "fsck":
+        return fsck(argv[1:])
     if argv and argv[0] == "serve":
         return serve(argv[1:])
     if argv and argv[0] == "client":

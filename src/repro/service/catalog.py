@@ -23,38 +23,186 @@ keeps the compressed ``.npz`` object archive.  ``load`` sniffs the format
 from the file, and the manifest digest is format-independent, so the two
 interoperate freely within one version history.
 
-Publishing writes the archive to a temporary name in the same directory
-and ``os.replace``s it into place, then rewrites the manifest the same
-way — both steps atomic on POSIX, so concurrent readers always see either
-the old or the new catalog state, never a torn one.
+Publishing writes the archive to a temporary name in the same directory,
+``fsync``s it, and ``os.replace``s it into place, then rewrites the
+manifest (and the generation stamp) the same way, fsyncing the directory
+after each rename — atomic on POSIX *and* durable across a crash, so
+concurrent readers always see either the old or the new catalog state,
+never a torn one.
+
+A crash (or an injected fault — see ``service/faults.py``) can still
+leave debris behind: a stale ``incoming-*`` temp file, an orphan archive
+whose manifest entry was never committed, or — on filesystems without
+atomic rename semantics — a torn manifest or generation stamp.
+:meth:`StatsCatalog.fsck` detects and repairs all of it: temp files are
+removed, unreadable archives are quarantined (moved to ``quarantine/``
+and dropped from the manifest), torn manifests are rebuilt from the
+readable archives on disk, and the generation stamp is re-derived from
+the repaired manifest.  Opening a catalog runs a conservative fsck pass
+by default (temp files are only removed once they are old enough that no
+live publish can still own them), and torn-manifest reads self-heal
+through the same machinery, so a catalog wedged by a mid-publish crash
+recovers without operator action.  ``python -m repro.service fsck`` is
+the explicit CLI entry point.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import threading
 import time
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..core.arena import ARENA_MAGIC, _aligned
 from ..core.safebound import SafeBound, SafeBoundConfig
 from ..core.serialization import STATS_FORMATS, load_stats, save_stats_with_digest
 from ..core.stats_builder import SafeBoundStats
 from ..db.database import Database
 from ..db.query import Query
 from ..estimators.base import CardinalityEstimator
+from . import faults
+from .faults import InjectedFault
 
-__all__ = ["StatsVersion", "StatsCatalog", "CatalogBackedSafeBound"]
+__all__ = ["StatsVersion", "StatsCatalog", "CatalogBackedSafeBound", "FsckReport"]
 
 _MANIFEST_NAME = "MANIFEST.json"
+_QUARANTINE_DIR = "quarantine"
+_ARCHIVE_RE = re.compile(r"^v(\d{6})\.(sba|npz)$")
+# How old a temp file must be before the *open-time* fsck removes it: a
+# concurrent publish legitimately owns younger ones (it writes
+# ``incoming-*`` / ``*.incoming`` and renames them within moments).  The
+# explicit CLI fsck runs with 0 — the operator asserts nothing is live.
+_STALE_TMP_SECONDS = 60.0
 # The arena-generation stamp published next to the manifest: a tiny file
 # holding the latest version number.  Fork-pool workers (and other
 # processes — or other hosts sharing the catalog over a filesystem) read
 # it per batch as a cheap "did anything publish?" check, and only parse
 # the manifest / re-open an archive on a mismatch.
 _GENERATION_NAME = "GENERATION"
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    """Durably commit a rename: fsync the containing directory.  Best
+    effort — some filesystems refuse directory fsync; atomicity does not
+    depend on it, only crash durability does."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_text(path: Path, text: str, site: str) -> None:
+    """Write ``text`` to ``path`` via fsynced temp-file rename.
+
+    Fault sites: ``{site}.write`` fails before anything lands on disk;
+    ``{site}.torn`` commits *truncated* content to the final path and
+    then raises — the on-disk shape a crash mid-write leaves on a
+    filesystem without atomic rename, which is exactly what ``fsck``
+    must detect and repair.
+    """
+    faults.fire(f"{site}.write")
+    torn = faults.corrupt(f"{site}.torn", text, lambda t: t[: len(t) // 2])
+    tmp = path.with_name(path.name + ".incoming")
+    tmp.write_text(torn)
+    _fsync_file(tmp)
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+    if torn is not text:
+        raise InjectedFault(f"{site}.torn", f"{path.name} torn mid-write")
+
+
+def _tear_archive(path: Path):
+    """The ``catalog.archive.torn`` corruption: truncate the committed
+    archive to half its size and fail the publish."""
+    size = path.stat().st_size
+    with open(path, "rb+") as fh:
+        fh.truncate(max(1, size // 2))
+    raise InjectedFault("catalog.archive.torn", f"{path.name} torn mid-write")
+
+
+def _archive_readable(path: Path) -> bool:
+    """Cheaply verify an archive is structurally intact (no data load).
+
+    Arena files are checked header-first: the JSON header must parse and
+    every array it declares must lie within the file — a truncated
+    arena fails the extent check.  v1 ``.npz`` archives are zip files,
+    whose end-of-central-directory check catches truncation.
+    """
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            magic = fh.read(len(ARENA_MAGIC))
+            if magic == ARENA_MAGIC:
+                fh.seek(8)
+                header_len = int.from_bytes(fh.read(8), "little")
+                if header_len <= 0 or 16 + header_len > size:
+                    return False
+                header = json.loads(fh.read(header_len).decode())
+                data_start = _aligned(16 + header_len)
+                import numpy as np
+
+                for spec in header["arrays"].values():
+                    need = spec["count"] * np.dtype(spec["dtype"]).itemsize
+                    if data_start + spec["offset"] + need > size:
+                        return False
+                return True
+        return zipfile.is_zipfile(str(path))
+    except Exception:
+        return False
+
+
+@dataclass
+class FsckReport:
+    """What one :meth:`StatsCatalog.fsck` pass found and repaired."""
+
+    root: str
+    databases: list[str] = field(default_factory=list)
+    removed_temp: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+    dropped_versions: list[str] = field(default_factory=list)
+    rebuilt_manifests: list[str] = field(default_factory=list)
+    repaired_generations: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.removed_temp
+            or self.quarantined
+            or self.dropped_versions
+            or self.rebuilt_manifests
+            or self.repaired_generations
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "databases": self.databases,
+            "clean": self.clean,
+            "removed_temp": self.removed_temp,
+            "quarantined": self.quarantined,
+            "dropped_versions": self.dropped_versions,
+            "rebuilt_manifests": self.rebuilt_manifests,
+            "repaired_generations": self.repaired_generations,
+        }
 
 
 @dataclass(frozen=True)
@@ -93,13 +241,21 @@ class StatsCatalog:
     least-recently-loaded beyond ``max_loaded``.
     """
 
-    def __init__(self, root: str | Path, max_loaded: int = 4) -> None:
+    def __init__(
+        self, root: str | Path, max_loaded: int = 4, fsck_on_open: bool = True
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_loaded = max_loaded
         self._lock = threading.RLock()
         self._loaded: OrderedDict[tuple[str, int], SafeBoundStats] = OrderedDict()
         self._pins: dict[tuple[str, int], int] = {}
+        self.last_fsck: FsckReport | None = None
+        if fsck_on_open:
+            # Conservative pass: quarantine torn versions, rebuild torn
+            # manifests, but only remove temp files old enough that no
+            # live publish from another process can still own them.
+            self.fsck(stale_tmp_seconds=_STALE_TMP_SECONDS)
 
     # ------------------------------------------------------------------
     # Manifest handling
@@ -110,17 +266,48 @@ class StatsCatalog:
     def _manifest_path(self, database: str) -> Path:
         return self._db_dir(database) / _MANIFEST_NAME
 
-    def _read_entries(self, database: str) -> list[dict]:
+    def _read_entries_raw(self, database: str) -> list[dict] | None:
+        """The manifest's version list, or None when the manifest exists
+        but is torn/unparseable.  Raises nothing for garbage content —
+        healing is the caller's job."""
         path = self._manifest_path(database)
-        if not path.exists():
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
             return []
-        return json.loads(path.read_text())["versions"]
+        try:
+            versions = json.loads(text)["versions"]
+        except (ValueError, KeyError, TypeError):
+            return None
+        return versions if isinstance(versions, list) else None
+
+    def _read_entries(self, database: str) -> list[dict]:
+        faults.fire("catalog.manifest.read")
+        entries = self._read_entries_raw(database)
+        if entries is None:
+            # A torn manifest (crash mid-write on a filesystem without
+            # atomic rename, or an injected tear).  Self-heal: rebuild it
+            # from the readable archives on disk, quarantining the rest,
+            # then re-read.  Deterministic from disk state, so concurrent
+            # healers (e.g. several fork workers) converge benignly.
+            with self._lock:
+                report = FsckReport(root=str(self.root), databases=[database])
+                self._fsck_database(database, report, stale_tmp_seconds=_STALE_TMP_SECONDS)
+                self.last_fsck = report
+            entries = self._read_entries_raw(database)
+            if entries is None:
+                raise InjectedFault(
+                    "catalog.manifest", f"manifest of {database!r} unrecoverable"
+                )
+        return entries
 
     def _write_entries(self, database: str, entries: list[dict]) -> None:
         path = self._manifest_path(database)
-        tmp = path.with_name(path.name + ".incoming")
-        tmp.write_text(json.dumps({"database": database, "versions": entries}, indent=2))
-        os.replace(tmp, path)
+        _atomic_write_text(
+            path,
+            json.dumps({"database": database, "versions": entries}, indent=2),
+            site="catalog.manifest",
+        )
         # Stamp the generation *after* the manifest: a reader that sees
         # the new generation is guaranteed to find the version it
         # advertises already published.
@@ -130,16 +317,16 @@ class StatsCatalog:
         return self._db_dir(database) / _GENERATION_NAME
 
     def _write_generation(self, database: str, generation: int) -> None:
-        path = self._generation_path(database)
-        tmp = path.with_name(path.name + ".incoming")
-        tmp.write_text(f"{generation}\n")
-        os.replace(tmp, path)
+        _atomic_write_text(
+            self._generation_path(database), f"{generation}\n", site="catalog.generation"
+        )
 
     def generation(self, database: str) -> int:
         """The published generation of ``database``: the latest version
         number, read from the generation stamp (O(one tiny file read),
         no manifest parse).  Catalogs written before the stamp existed
         fall back to the manifest; 0 means nothing published."""
+        faults.fire("catalog.generation.read")
         try:
             return int(self._generation_path(database).read_text())
         except FileNotFoundError:
@@ -198,10 +385,18 @@ class StatsCatalog:
             suffix = "sba" if stats_format == "arena" else "npz"
             filename = f"v{version:06d}.{suffix}"
             incoming = directory / f"incoming-{filename}"
+            faults.fire("catalog.archive.write")
             file_bytes, digest = save_stats_with_digest(
                 stats, str(incoming), stats_format=stats_format
             )
+            _fsync_file(incoming)
+            faults.fire("catalog.archive.replace")
             os.replace(incoming, directory / filename)
+            _fsync_dir(directory)
+            # Injected tear: truncate the just-committed archive and fail
+            # the publish — the manifest never records it, fsck must
+            # quarantine it.
+            faults.corrupt("catalog.archive.torn", directory / filename, _tear_archive)
             entry = {
                 "version": version,
                 "filename": filename,
@@ -305,6 +500,144 @@ class StatsCatalog:
     def loaded_versions(self) -> list[tuple[str, int]]:
         with self._lock:
             return list(self._loaded)
+
+    # ------------------------------------------------------------------
+    # Crash repair
+    # ------------------------------------------------------------------
+    def fsck(
+        self, database: str | None = None, *, stale_tmp_seconds: float = 0.0
+    ) -> FsckReport:
+        """Detect and repair crash debris; what was repaired, as a report.
+
+        Per database: stale publish temp files (older than
+        ``stale_tmp_seconds``) are removed; structurally unreadable
+        archives are moved to ``quarantine/`` and their manifest entries
+        dropped; readable archives the manifest never committed (a crash
+        between archive rename and manifest write) are quarantined too —
+        the manifest is the commit point, so an uncommitted publish never
+        retroactively becomes visible; a torn manifest is rebuilt from
+        the readable archives on disk; and the generation stamp is
+        re-derived from the repaired manifest.  All repairs are
+        deterministic functions of the on-disk state and are themselves
+        atomic whole-file replaces, so concurrent healers converge.
+        """
+        with self._lock:
+            report = FsckReport(root=str(self.root))
+            if database is not None:
+                names = [database]
+            else:
+                names = sorted(
+                    d.name
+                    for d in self.root.iterdir()
+                    if d.is_dir() and d.name != _QUARANTINE_DIR
+                )
+            for name in names:
+                report.databases.append(name)
+                self._fsck_database(name, report, stale_tmp_seconds=stale_tmp_seconds)
+            self.last_fsck = report
+            return report
+
+    def _fsck_database(
+        self, database: str, report: FsckReport, *, stale_tmp_seconds: float
+    ) -> None:
+        directory = self._db_dir(database)
+        if not directory.is_dir():
+            return
+        now = time.time()
+        # 1. Temp files from crashed publishes, once old enough that no
+        #    live publish can still own them.
+        for path in list(directory.iterdir()):
+            name = path.name
+            if not (name.startswith("incoming-") or name.endswith(".incoming")):
+                continue
+            try:
+                if now - path.stat().st_mtime < stale_tmp_seconds:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            report.removed_temp.append(f"{database}/{name}")
+        # 2. Verify every archive; quarantine the unreadable ones.
+        readable: dict[int, str] = {}
+        for path in sorted(directory.iterdir()):
+            match = _ARCHIVE_RE.match(path.name)
+            if match is None:
+                continue
+            if _archive_readable(path):
+                readable[int(match.group(1))] = path.name
+            else:
+                self._quarantine(directory, path.name, report, database)
+        # 3. Reconcile the manifest against the readable archives.
+        entries = self._read_entries_raw(database)
+        if entries is None:
+            # Torn manifest: rebuild it from what survives on disk.
+            entries = []
+            for version in sorted(readable):
+                filename = readable[version]
+                stat = (directory / filename).stat()
+                entries.append(
+                    {
+                        "version": version,
+                        "filename": filename,
+                        "created_at": stat.st_mtime,
+                        "file_bytes": stat.st_size,
+                        "build_seconds": 0.0,
+                        "num_sequences": 0,
+                        "note": "fsck-recovered",
+                        "format": "arena" if filename.endswith(".sba") else "v1",
+                        "metadata": {"fsck_recovered": True},
+                    }
+                )
+            self._write_manifest_only(database, entries)
+            report.rebuilt_manifests.append(database)
+        else:
+            kept = []
+            for entry in entries:
+                if readable.get(entry.get("version")) == entry.get("filename"):
+                    kept.append(entry)
+                else:
+                    label = entry.get("filename") or f"v{entry.get('version')}"
+                    report.dropped_versions.append(f"{database}/{label}")
+                    self._loaded.pop((database, entry.get("version")), None)
+            # Readable archives the manifest never committed: quarantine.
+            committed = {entry["version"] for entry in kept}
+            for version, filename in readable.items():
+                if version not in committed:
+                    self._quarantine(directory, filename, report, database)
+                    self._loaded.pop((database, version), None)
+            if len(kept) != len(entries):
+                self._write_manifest_only(database, kept)
+            entries = kept
+        # 4. Re-derive the generation stamp from the repaired manifest.
+        if self._manifest_path(database).exists():
+            expected = entries[-1]["version"] if entries else 0
+            stamp = self._generation_path(database)
+            try:
+                current = int(stamp.read_text())
+            except (OSError, ValueError):
+                current = None
+            if current != expected:
+                _atomic_write_text(stamp, f"{expected}\n", site="catalog.fsck")
+                report.repaired_generations.append(database)
+
+    def _quarantine(
+        self, directory: Path, filename: str, report: FsckReport, database: str
+    ) -> None:
+        qdir = directory / _QUARANTINE_DIR
+        qdir.mkdir(exist_ok=True)
+        os.replace(directory / filename, qdir / filename)
+        report.quarantined.append(f"{database}/{filename}")
+
+    def _write_manifest_only(self, database: str, entries: list[dict]) -> None:
+        """An fsck repair write: same atomic shape as ``_write_entries``
+        but under the ``catalog.fsck`` fault site, so chaos plans tearing
+        publish writes cannot wedge the healer, and without the
+        generation re-stamp (fsck derives that separately)."""
+        _atomic_write_text(
+            self._manifest_path(database),
+            json.dumps({"database": database, "versions": entries}, indent=2),
+            site="catalog.fsck",
+        )
 
     def _evict(self) -> None:
         excess = len(self._loaded) - self.max_loaded
@@ -487,8 +820,11 @@ class CatalogBackedSafeBound(CardinalityEstimator):
         """
         try:
             if self.generation() == self._version:
+                self.last_refresh_error = None
                 return False
-            return self.refresh(db)
+            swapped = self.refresh(db)
+            self.last_refresh_error = None
+            return swapped
         except Exception as exc:
             self.last_refresh_error = exc
             return False

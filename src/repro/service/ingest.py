@@ -25,6 +25,7 @@ import numpy as np
 
 from ..db.database import Database
 from ..db.table import Table
+from . import faults
 from .catalog import CatalogBackedSafeBound, StatsVersion
 
 __all__ = ["append_rows", "remove_rows", "UpdateIngest", "RepublishWorker"]
@@ -138,6 +139,7 @@ class UpdateIngest:
         with self._lock:
             from ..core.safebound import SafeBound
 
+            faults.fire("ingest.republish")
             fresh = SafeBound(estimator.config)
             fresh.build(self.db)
             version = estimator.catalog.publish(
@@ -165,21 +167,43 @@ class RepublishWorker(threading.Thread):
 
     Polls the ingest's staleness every ``poll_seconds`` and republishes
     when it crosses the threshold — the serving path never blocks on it.
+
+    A failed republish (catalog IO, an injected fault) must not kill the
+    worker: serving stays valid on the padded statistics, so the right
+    move is to record the error (``failures`` / ``last_error``), back off
+    to ``failure_backoff_seconds``, and retry on a later poll — the cycle
+    heals itself once the catalog does.
     """
 
-    def __init__(self, ingest: UpdateIngest, poll_seconds: float = 0.05) -> None:
+    def __init__(
+        self,
+        ingest: UpdateIngest,
+        poll_seconds: float = 0.05,
+        failure_backoff_seconds: float = 0.5,
+    ) -> None:
         super().__init__(name="republish-worker", daemon=True)
         self.ingest = ingest
         self.poll_seconds = poll_seconds
+        self.failure_backoff_seconds = failure_backoff_seconds
         self.published: list[StatsVersion] = []
+        self.failures = 0
+        self.last_error: Exception | None = None
         self._stop_event = threading.Event()
 
     def run(self) -> None:
         while not self._stop_event.is_set():
-            version = self.ingest.maybe_republish(note="background republish")
-            if version is not None:
-                self.published.append(version)
-            self._stop_event.wait(self.poll_seconds)
+            wait = self.poll_seconds
+            try:
+                version = self.ingest.maybe_republish(note="background republish")
+            except Exception as exc:
+                self.failures += 1
+                self.last_error = exc
+                wait = max(self.poll_seconds, self.failure_backoff_seconds)
+            else:
+                if version is not None:
+                    self.published.append(version)
+                    self.last_error = None
+            self._stop_event.wait(wait)
 
     def stop(self, timeout: float | None = 30.0) -> None:
         """Signal the worker to exit and wait for it.  Idempotent, and

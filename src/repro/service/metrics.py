@@ -82,6 +82,11 @@ class ServerMetrics:
         # batches failed by them.
         self.worker_reaps = 0
         self.reaped_batches = 0
+        # Worker deaths the pool replaced (each reap respawns) and
+        # circuit-breaker trips — a respawn storm beyond the server's
+        # bounded restart rate degrades it to single-process serving.
+        self.worker_respawns = 0
+        self.breaker_trips = 0
         # Queue wait (admission -> batch start) and total request latency
         # (admission -> result), in seconds.
         self.queue_latency = LatencyRecorder()
@@ -97,6 +102,10 @@ class ServerMetrics:
         # registry's snapshot (repro.obs MetricsRegistry) — the aggregated
         # kernel/cache/latency counters of parent and every pool worker.
         self.obs_source = None
+        # Optional callable returning the server's health verdict
+        # (EstimationServer.health_status): ok/degraded/stopped plus the
+        # readiness/liveness split, sampled at snapshot time.
+        self.health_source = None
 
     # ------------------------------------------------------------------
     def record_accepted(self) -> None:
@@ -130,6 +139,14 @@ class ServerMetrics:
             self.worker_reaps += 1
             self.reaped_batches += batches
 
+    def record_respawn(self, count: int = 1) -> None:
+        with self._lock:
+            self.worker_respawns += count
+
+    def record_breaker_trip(self) -> None:
+        with self._lock:
+            self.breaker_trips += 1
+
     # ------------------------------------------------------------------
     @property
     def mean_batch_size(self) -> float:
@@ -150,6 +167,8 @@ class ServerMetrics:
                 "swaps": self.swaps,
                 "worker_reaps": self.worker_reaps,
                 "reaped_batches": self.reaped_batches,
+                "worker_respawns": self.worker_respawns,
+                "breaker_trips": self.breaker_trips,
             }
         counters["mean_batch_size"] = (
             counters["batched_requests"] / counters["batches"]
@@ -162,6 +181,7 @@ class ServerMetrics:
             ("conditioning_cache", self.conditioning_source),
             ("workers", self.workers_source),
             ("observability", self.obs_source),
+            ("health", self.health_source),
         ):
             if source is not None:
                 try:

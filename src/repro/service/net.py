@@ -37,15 +37,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import socket
 import threading
 import time
+from dataclasses import dataclass
 
 from ..db.query import Query
+from . import faults
 from .server import EstimationServer, ServerOverloadedError
 from .wire import (
     FrameError,
     MAX_FRAME_BYTES,
+    encode_frame,
     query_from_wire,
     query_to_wire,
     read_frame,
@@ -53,7 +57,15 @@ from .wire import (
     write_frame,
 )
 
-__all__ = ["NetServer", "NetClient", "NetRequestError", "generate_load_net"]
+__all__ = [
+    "NetServer",
+    "NetClient",
+    "NetRequestError",
+    "ConnectTimeoutError",
+    "DeadlineExceededError",
+    "RetryPolicy",
+    "generate_load_net",
+]
 
 
 class NetRequestError(RuntimeError):
@@ -63,6 +75,72 @@ class NetRequestError(RuntimeError):
         super().__init__(f"{error}: {detail}" if detail else error)
         self.error = error
         self.detail = detail
+
+
+class ConnectTimeoutError(ConnectionError):
+    """No connection could be established within the deadline budget."""
+
+
+class DeadlineExceededError(TimeoutError):
+    """A retried call exhausted its deadline/attempt budget.
+
+    ``last_error`` is the final underlying failure (reset, overload,
+    server error) — the reason the budget ran out, preserved so callers
+    and logs can tell a flaky network from a saturated server."""
+
+    def __init__(self, message: str, last_error: Exception | None = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry/timeout/backoff budget for one call.
+
+    A call (``bound``/``bound_batch``/``metrics``/``health``) gets at
+    most ``deadline_seconds`` of wall clock and ``max_attempts``
+    attempts; between attempts the client sleeps an exponentially
+    growing backoff (``initial_backoff_seconds`` ×
+    ``backoff_multiplier``^attempt, capped at ``max_backoff_seconds``),
+    raised to the server's ``retry_after_ms`` hint when an overload
+    response carries one, and multiplied by up to ``1 + jitter`` of
+    seeded randomness so a fleet of backing-off clients does not
+    stampede in phase.  ``seed`` makes the jitter stream deterministic
+    (chaos tests replay exactly); None seeds from the OS.
+
+    Connection failures, resets and torn frames reconnect and retry;
+    ``overloaded`` / ``unavailable`` / ``server_error`` responses retry;
+    ``bad_request`` never retries — resending a malformed request cannot
+    help.  A call that exhausts its budget raises
+    :class:`DeadlineExceededError` carrying the last underlying failure.
+    """
+
+    max_attempts: int = 6
+    deadline_seconds: float = 30.0
+    initial_backoff_seconds: float = 0.01
+    max_backoff_seconds: float = 1.0
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def backoff_seconds(
+        self,
+        attempt: int,
+        rng: random.Random,
+        retry_after_ms: float | None = None,
+    ) -> float:
+        base = min(
+            self.max_backoff_seconds,
+            self.initial_backoff_seconds * self.backoff_multiplier**attempt,
+        )
+        if retry_after_ms is not None:
+            try:
+                base = max(base, float(retry_after_ms) / 1000.0)
+            except (TypeError, ValueError):
+                pass
+        if self.jitter > 0:
+            base *= 1.0 + self.jitter * rng.random()
+        return base
 
 
 class NetServer:
@@ -202,11 +280,20 @@ class NetServer:
                         "error": "server_error",
                         "detail": repr(exc),
                     }
+                # Chaos sites on the response path: "net.connection.reset"
+                # drops the connection before any reply byte (the
+                # InjectedFault is an OSError — the handler below treats
+                # it exactly like a real reset); "net.response.stall"
+                # (a sleep spec) holds the reply past the client's read
+                # timeout; "net.response.partial" sends a torn frame and
+                # drops the connection mid-reply.
+                faults.fire("net.connection.reset")
+                faults.fire("net.response.stall")
                 try:
-                    write_frame(conn, response)
+                    blob = encode_frame(response)
                 except FrameError as exc:
-                    # The response exceeded the frame cap.  Its size check
-                    # runs before any byte is sent, so the stream is still
+                    # The response exceeded the frame cap.  Encoding runs
+                    # before any byte is sent, so the stream is still
                     # framed: answer with a small error frame, then drop
                     # the connection — mirroring the read-side handling.
                     self.frame_errors += 1
@@ -218,6 +305,12 @@ class NetServer:
                     except OSError:
                         pass
                     return
+                sent = faults.corrupt(
+                    "net.response.partial", blob, lambda b: b[: max(1, len(b) // 2)]
+                )
+                conn.sendall(sent)
+                if sent is not blob:
+                    return  # injected partial write: drop mid-frame
         except OSError:
             pass  # connection reset / server stopping
         finally:
@@ -305,11 +398,17 @@ class NetServer:
         estimator = self.server.estimator
         info = {
             "ok": True,
-            "status": "serving" if self.server.running else "stopped",
             "pid": os.getpid(),
             "num_workers": self.server.num_workers,
             "worker_pids": self.server.worker_pids(),
         }
+        health = getattr(self.server, "health_status", None)
+        if callable(health):
+            # ok / degraded / stopped plus the liveness/readiness split
+            # and the degradation reason — the supervisor-facing verdict.
+            info.update(health())
+        else:
+            info["status"] = "ok" if self.server.running else "stopped"
         version = getattr(estimator, "version", None)
         if version is not None:
             info["version"] = version
@@ -330,6 +429,19 @@ class NetClient:
     socket each).  Overload responses raise
     :class:`~repro.service.server.ServerOverloadedError`, so retry logic
     written against the in-process server works unchanged over the wire.
+
+    Connecting is bounded: the constructor keeps retrying refused
+    connections for at most ``connect_timeout`` seconds (default
+    ``connect_retries × connect_retry_seconds``) and then raises
+    :class:`ConnectTimeoutError` — a dead server fails the client fast
+    with a typed error instead of spinning until some outer timeout.
+
+    With a :class:`RetryPolicy`, every call runs under its deadline
+    budget: connection failures and torn frames reconnect automatically,
+    retryable error responses back off (honoring the server's
+    ``retry_after_ms`` hint) and retry, and budget exhaustion raises
+    :class:`DeadlineExceededError`.  ``retries``/``reconnects`` count
+    what the policy actually did.
     """
 
     def __init__(
@@ -340,29 +452,62 @@ class NetClient:
         timeout: float = 30.0,
         connect_retries: int = 40,
         connect_retry_seconds: float = 0.25,
+        connect_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_retry_seconds = connect_retry_seconds
+        self.connect_timeout = (
+            connect_timeout
+            if connect_timeout is not None
+            else max(1, connect_retries) * connect_retry_seconds
+        )
+        self.retry = retry
+        self._rng = random.Random(retry.seed if retry is not None else None)
+        self.retries = 0
+        self.reconnects = 0
+        self._sock: socket.socket | None = None
+        self._connect(time.monotonic() + self.connect_timeout)
+
+    def _connect(self, deadline: float) -> None:
+        """Establish the connection, retrying refused attempts until
+        ``deadline``; raises :class:`ConnectTimeoutError` past it."""
         last_error: Exception | None = None
-        for _ in range(max(1, connect_retries)):
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 and last_error is not None:
+                raise ConnectTimeoutError(
+                    f"could not connect to {self.host}:{self.port} within "
+                    f"budget: {last_error}"
+                ) from last_error
             try:
-                self._sock = socket.create_connection((host, port), timeout=timeout)
-                break
+                sock = socket.create_connection(
+                    (self.host, self.port),
+                    timeout=min(self.timeout, max(remaining, 0.001)),
+                )
             except OSError as exc:
                 last_error = exc
-                time.sleep(connect_retry_seconds)
-        else:
-            raise ConnectionError(
-                f"could not connect to {host}:{port}: {last_error}"
-            ) from last_error
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                time.sleep(
+                    max(0.0, min(self.connect_retry_seconds, deadline - time.monotonic()))
+                )
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self.timeout)
+            self._sock = sock
+            return
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._drop_connection()
 
     def __enter__(self) -> "NetClient":
         return self
@@ -372,36 +517,103 @@ class NetClient:
 
     # ------------------------------------------------------------------
     def request(self, payload: dict) -> dict:
-        write_frame(self._sock, payload)
-        response = read_frame(self._sock)
+        """One raw request/response exchange, no retries."""
+        sock = self._sock
+        if sock is None:
+            raise ConnectionError("client is not connected")
+        write_frame(sock, payload)
+        response = read_frame(sock)
         if response is None:
             raise ConnectionError("server closed the connection")
         return response
 
     @staticmethod
-    def _raise_for(response: dict) -> None:
+    def _error_for(response: dict) -> Exception:
         error = response.get("error", "unknown")
         if error == "overloaded":
             exc = ServerOverloadedError(response.get("detail", "server overloaded"))
             exc.queue_depth = response.get("queue_depth")
             exc.max_queue = response.get("max_queue")
-            raise exc
-        raise NetRequestError(error, response.get("detail", ""))
+            exc.retry_after_ms = response.get("retry_after_ms")
+            return exc
+        return NetRequestError(error, response.get("detail", ""))
+
+    @classmethod
+    def _raise_for(cls, response: dict) -> None:
+        raise cls._error_for(response)
+
+    _RETRYABLE_ERRORS = ("overloaded", "unavailable", "server_error")
+
+    def _call(self, payload: dict) -> dict:
+        """One request under the retry policy (or a single raw attempt).
+
+        A successful response is returned; a non-retryable error
+        response raises immediately; everything else — resets, torn
+        frames, stalled reads past the socket timeout, retryable error
+        responses — reconnects/backs off and retries until the policy's
+        deadline or attempt budget runs out.
+        """
+        policy = self.retry
+        if policy is None:
+            response = self.request(payload)
+            if not response.get("ok"):
+                self._raise_for(response)
+            return response
+        deadline = time.monotonic() + policy.deadline_seconds
+        last_error: Exception | None = None
+        for attempt in range(policy.max_attempts):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            retry_after = None
+            try:
+                if self._sock is None:
+                    self._connect(deadline)
+                    self.reconnects += 1
+                # The read must give up while budget remains: a stalled
+                # response consumes this attempt, not the whole deadline.
+                self._sock.settimeout(min(self.timeout, remaining))
+                response = self.request(payload)
+            except (FrameError, OSError) as exc:
+                # OSError covers resets, refused reconnects and socket
+                # timeouts; FrameError covers a frame torn mid-stream.
+                # The connection state is unknown — drop and redial.
+                last_error = exc
+                self._drop_connection()
+            else:
+                if response.get("ok"):
+                    if self._sock is not None:
+                        self._sock.settimeout(self.timeout)
+                    return response
+                if response.get("error") not in self._RETRYABLE_ERRORS:
+                    self._raise_for(response)
+                last_error = self._error_for(response)
+                retry_after = response.get("retry_after_ms")
+            if attempt + 1 >= policy.max_attempts:
+                break
+            delay = policy.backoff_seconds(attempt, self._rng, retry_after)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self.retries += 1
+            time.sleep(min(delay, remaining))
+        raise DeadlineExceededError(
+            f"{payload.get('op', 'request')!r} exhausted its retry budget "
+            f"({policy.max_attempts} attempts / {policy.deadline_seconds:g}s): "
+            f"{last_error!r}",
+            last_error,
+        )
 
     def bound(self, query: "Query | dict") -> float:
         """The bound of one query (a :class:`Query` or its wire form)."""
         wire = query if isinstance(query, dict) else query_to_wire(query)
-        response = self.request({"op": "bound", "query": wire})
-        if not response.get("ok"):
-            self._raise_for(response)
+        response = self._call({"op": "bound", "query": wire})
         return wire_to_float(response["bound"])
 
     def bound_batch(self, queries) -> list[float]:
         """Bounds for several queries; raises on the first failed slot."""
         wires = [q if isinstance(q, dict) else query_to_wire(q) for q in queries]
-        response = self.request({"op": "bound_batch", "queries": wires})
-        if not response.get("ok"):
-            self._raise_for(response)
+        response = self._call({"op": "bound_batch", "queries": wires})
         bounds = []
         for slot in response["results"]:
             if not slot.get("ok"):
@@ -410,16 +622,10 @@ class NetClient:
         return bounds
 
     def metrics(self) -> dict:
-        response = self.request({"op": "metrics"})
-        if not response.get("ok"):
-            self._raise_for(response)
-        return response["metrics"]
+        return self._call({"op": "metrics"})["metrics"]
 
     def health(self) -> dict:
-        response = self.request({"op": "health"})
-        if not response.get("ok"):
-            self._raise_for(response)
-        return response
+        return self._call({"op": "health"})
 
 
 # ----------------------------------------------------------------------
@@ -435,6 +641,7 @@ def _client_process(
     concurrency: int,
     timeout: float,
     retry_rejected: bool,
+    retry: RetryPolicy | None,
     barrier,
     out_queue,
 ) -> None:
@@ -460,7 +667,17 @@ def _client_process(
         client: NetClient | None = None
         error: Exception | None = None
         try:
-            client = NetClient(host, port, timeout=timeout)
+            # Derive a distinct deterministic jitter stream per thread so
+            # a seeded policy still de-phases the fleet's backoffs.
+            thread_retry = retry
+            if retry is not None and retry.seed is not None:
+                thread_retry = RetryPolicy(
+                    **{
+                        **retry.__dict__,
+                        "seed": retry.seed + worker * 1009 + thread_no,
+                    }
+                )
+            client = NetClient(host, port, timeout=timeout, retry=thread_retry)
         except Exception as exc:
             error = exc
         finally:
@@ -519,6 +736,7 @@ def generate_load_net(
     concurrency: int = 4,
     timeout: float = 60.0,
     retry_rejected: bool = True,
+    retry: RetryPolicy | None = None,
 ) -> dict:
     """Drive a :class:`NetServer` with ``num_requests`` single-query
     requests from ``processes`` separate client processes, each running
@@ -553,6 +771,7 @@ def generate_load_net(
                 concurrency,
                 timeout,
                 retry_rejected,
+                retry,
                 barrier,
                 out_queue,
             ),

@@ -50,12 +50,14 @@ import os
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from ..db.query import Query
 from ..obs.metrics import MetricsRegistry, get_metrics, inc as _metric_inc, install_metrics, observe as _metric_observe, uninstall_metrics
 from ..obs.tracing import span as _span
+from . import faults
 from .metrics import ServerMetrics
 
 __all__ = ["ServerOverloadedError", "EstimationServer", "generate_load"]
@@ -71,6 +73,9 @@ class ServerOverloadedError(RuntimeError):
 
     queue_depth: int | None = None
     max_queue: int | None = None
+    # The server's backoff hint, set by the network tier's client from
+    # the overload response (milliseconds; None in-process).
+    retry_after_ms: float | None = None
 
 
 # ----------------------------------------------------------------------
@@ -101,6 +106,11 @@ def _pool_worker_init() -> None:
 
 def _pool_estimate(key: int, queries: list[Query]) -> list[float]:
     try:
+        # Chaos sites: "server.worker.kill" SIGKILLs this worker mid-batch
+        # (the reaper and the pool's auto-respawn must recover),
+        # "server.batch.slow" stalls the batch.
+        faults.fire("server.worker.kill")
+        faults.fire("server.batch.slow")
         estimator = _fork_estimators[key]
         # The cross-process hot-swap handshake: one generation-stamp read
         # per batch; on mismatch this worker re-opens the newly published
@@ -108,9 +118,22 @@ def _pool_estimate(key: int, queries: list[Query]) -> list[float]:
         # run their own check on their next batch).  Errors degrade to
         # serving the current version inside refresh_if_stale.
         check = getattr(estimator, "refresh_if_stale", None)
-        if check is not None and check():
-            _metric_inc("server.worker_swaps")
-        return estimator.estimate_batch(queries)
+        if check is not None:
+            if check():
+                _metric_inc("server.worker_swaps")
+            # Swallowed refresh failures live in *this worker's* memory —
+            # surface them through the fork-shared registry so the
+            # parent's health snapshot sees a failing catalog even when
+            # only the workers touch it.
+            if getattr(estimator, "last_refresh_error", None) is not None:
+                _metric_inc("server.worker_refresh_errors")
+        estimates = estimator.estimate_batch(queries)
+        # "server.batch.poison": a corrupted worker reply (one estimate
+        # short) — the parent's count-mismatch guard must fail the batch
+        # loudly rather than resolve a truncated one.
+        return faults.corrupt(
+            "server.batch.poison", estimates, lambda e: list(e)[:-1]
+        )
     finally:
         # Publish this worker's kernel/cache counters into the fork-shared
         # segment so the parent's snapshot aggregates them.
@@ -198,6 +221,9 @@ class EstimationServer:
         metrics_json_path: str | None = None,
         metrics_json_interval: float = 5.0,
         json_log=None,
+        max_respawns: int = 8,
+        respawn_window_seconds: float = 30.0,
+        degraded_after_failures: int = 3,
     ) -> None:
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -251,6 +277,27 @@ class EstimationServer:
         self._accepting = False
         self._last_refresh = time.monotonic()
         self.last_refresh_error: Exception | None = None
+        # Supervised respawn budget: ``multiprocessing.Pool`` replaces a
+        # dead worker automatically (forking a fresh one that re-finds the
+        # estimator through the fork registry); the supervisor's job is to
+        # *bound the restart rate*.  More than ``max_respawns`` deaths
+        # within ``respawn_window_seconds`` is a respawn storm — something
+        # systematically kills workers, and endlessly re-forking them
+        # burns CPU while failing every in-flight batch — so the circuit
+        # breaker trips: the pool is torn down and the server degrades to
+        # single-process serving on the parent's estimator (bounds stay
+        # correct; throughput drops).
+        self.max_respawns = max_respawns
+        self.respawn_window_seconds = respawn_window_seconds
+        self._respawn_times: deque[float] = deque()
+        self.breaker_tripped = False
+        self.breaker_reason: str | None = None
+        # Degraded-mode threshold: this many *consecutive* refresh
+        # failures flips health to "degraded" (serving continues on the
+        # pinned generation); one success resets it — auto-recovery.
+        self.degraded_after_failures = degraded_after_failures
+        self._consecutive_refresh_failures = 0
+        self.metrics.health_source = self.health_status
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -258,6 +305,10 @@ class EstimationServer:
     def start(self) -> "EstimationServer":
         if self._thread is not None:
             raise RuntimeError("server already started")
+        self.breaker_tripped = False
+        self.breaker_reason = None
+        self._respawn_times.clear()
+        self._consecutive_refresh_failures = 0
         if self.num_workers > 1:
             # Install a fork-shared observability registry *before* the
             # pool forks, so every worker inherits the same shared segment
@@ -499,7 +550,12 @@ class EstimationServer:
             return
         try:
             with _span("server.batch", size=len(batch)):
-                estimates = self.estimator.estimate_batch(queries)
+                faults.fire("server.batch.slow")
+                estimates = faults.corrupt(
+                    "server.batch.poison",
+                    self.estimator.estimate_batch(queries),
+                    lambda e: list(e)[:-1],
+                )
         except Exception as exc:  # propagate to every waiting client
             self._fail_batch(batch, exc)
             return
@@ -543,8 +599,50 @@ class EstimationServer:
         alive = {p.pid for p in workers if p.is_alive()}
         died = self._known_worker_pids - alive
         self._known_worker_pids = {p.pid for p in workers}
-        if died:
-            self._fail_unsettled(f"serving worker process died (pid {sorted(died)})")
+        if not died:
+            return
+        self._fail_unsettled(f"serving worker process died (pid {sorted(died)})")
+        # Each death is a respawn (the pool already forked replacements —
+        # they are in ``workers``).  Rate-limit them: a storm trips the
+        # breaker and degrades to single-process serving.
+        now = time.monotonic()
+        self._respawn_times.extend([now] * len(died))
+        self.metrics.record_respawn(len(died))
+        _metric_inc("server.worker_respawns", len(died))
+        cutoff = now - self.respawn_window_seconds
+        while self._respawn_times and self._respawn_times[0] < cutoff:
+            self._respawn_times.popleft()
+        if len(self._respawn_times) > self.max_respawns:
+            self._trip_breaker(
+                f"{len(self._respawn_times)} worker respawns in "
+                f"{self.respawn_window_seconds:g}s (budget {self.max_respawns})"
+            )
+
+    def _trip_breaker(self, reason: str) -> None:
+        """Degrade to single-process serving after a respawn storm.
+
+        Runs on the batching thread (the only dispatcher), so nulling the
+        pool here cleanly routes every later batch down the inline
+        single-process path — bounds stay correct on the parent's own
+        estimator, only parallelism is lost.  The storming pool is
+        terminated in the background (its join can block on a poisoned
+        task-queue lock, a ``multiprocessing.Pool`` limitation)."""
+        pool = self._pool
+        if pool is None or self.breaker_tripped:
+            return
+        self.breaker_tripped = True
+        self.breaker_reason = reason
+        self.metrics.record_breaker_trip()
+        _metric_inc("server.breaker_trips")
+        self._pool = None
+        self._inflight = None
+        self._known_worker_pids = set()
+        self._fail_unsettled(f"worker pool circuit breaker tripped: {reason}")
+        if self._fork_key is not None:
+            _release_fork_pool(self._fork_key)
+            self._fork_key = None
+        threading.Thread(target=pool.terminate, daemon=True).start()
+        self._log_json("breaker_tripped", reason=reason)
 
     def _fail_unsettled(self, reason: str) -> None:
         with self._inflight_lock:
@@ -650,9 +748,65 @@ class EstimationServer:
             )
         except Exception as exc:
             self.last_refresh_error = exc
+            self._consecutive_refresh_failures += 1
             return
+        # One success heals degraded mode: clear the error and the streak.
+        self.last_refresh_error = None
+        self._consecutive_refresh_failures = 0
         if swapped:
             self.metrics.record_swap()
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health_status(self) -> dict:
+        """The server's health verdict, with a liveness/readiness split.
+
+        ``live`` is "the serving loop is running"; ``ready`` adds "and
+        accepting requests" (False during drain-and-stop).  ``status`` is
+        ``"ok"``, ``"degraded"`` — still serving, but on a tripped
+        circuit breaker or with ``degraded_after_failures`` consecutive
+        refresh failures (the pinned generation keeps being served, so
+        bounds stay sound while freshness suffers) — or ``"stopped"``.
+        Degraded-by-refresh recovers automatically on the next successful
+        refresh; degraded-by-breaker persists until restart.
+        """
+        live = self.running
+        status = "ok" if live else "stopped"
+        reason = None
+        if live:
+            if self.breaker_tripped:
+                status = "degraded"
+                reason = f"worker pool breaker tripped: {self.breaker_reason}"
+            elif self._consecutive_refresh_failures >= self.degraded_after_failures:
+                status = "degraded"
+                reason = (
+                    f"catalog refresh failing "
+                    f"({self._consecutive_refresh_failures} consecutive): "
+                    f"{self.last_refresh_error!r}"
+                )
+        health = {
+            "status": status,
+            "reason": reason,
+            "live": live,
+            "ready": live and self._accepting,
+            "breaker_tripped": self.breaker_tripped,
+            "consecutive_refresh_failures": self._consecutive_refresh_failures,
+            "last_refresh_error": (
+                repr(self.last_refresh_error) if self.last_refresh_error else None
+            ),
+        }
+        # In pool mode the workers swallow their own refresh failures
+        # (refresh_if_stale records, never raises) — their error count
+        # reaches the parent through the fork-shared registry.
+        registry = self._obs_registry
+        if registry is not None:
+            try:
+                errors = registry.snapshot().get("server.worker_refresh_errors", 0)
+            except Exception:
+                errors = 0
+            health["worker_refresh_errors"] = int(errors)
+        return health
 
 
 def generate_load(

@@ -45,6 +45,7 @@ __all__ = [
     "predicate_to_wire",
     "predicate_from_wire",
     "wire_to_float",
+    "encode_frame",
     "write_frame",
     "read_frame",
 ]
@@ -157,7 +158,12 @@ def query_from_wire(payload: dict) -> Query:
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
-def write_frame(sock: socket.socket, payload: dict) -> None:
+def encode_frame(payload: dict) -> bytes:
+    """The complete wire bytes of one frame (length prefix + body).
+
+    All encoding errors — unknown types, oversized payloads — surface
+    here, before any byte touches a socket, so a caller that encodes
+    first can still answer on a correctly framed stream."""
     try:
         body = _dump(payload)
     except FrameError:
@@ -170,7 +176,11 @@ def write_frame(sock: socket.socket, payload: dict) -> None:
         body = _dump(_sanitize_nonfinite(payload))
     if len(body) > MAX_FRAME_BYTES:
         raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
-    sock.sendall(_LENGTH.pack(len(body)) + body)
+    return _LENGTH.pack(len(body)) + body
+
+
+def write_frame(sock: socket.socket, payload: dict) -> None:
+    sock.sendall(encode_frame(payload))
 
 
 def _dump(payload: dict) -> bytes:

@@ -236,7 +236,7 @@ class TestNetServer:
     def test_health_and_metrics_verbs(self, net):
         with NetClient(*net.address) as client:
             health = client.health()
-            assert health["status"] == "serving"
+            assert health["status"] == "ok"
             assert health["num_workers"] == 0
             assert isinstance(health["pid"], int)
             metrics = client.metrics()
@@ -339,7 +339,7 @@ class TestNetServer:
         net = NetServer(server).start()
         client = NetClient(*net.address)
         try:
-            assert client.health()["status"] == "serving"
+            assert client.health()["status"] == "ok"
             net.stop()
             server.stop()
             with pytest.raises((ConnectionError, OSError, FrameError)):
